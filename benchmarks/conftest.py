@@ -1,0 +1,85 @@
+"""Shared machinery for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+Section 5 and prints a paper-vs-measured comparison.  The experiments
+run inside ``benchmark.pedantic(..., rounds=1)`` so they integrate with
+``pytest --benchmark-only`` while each executing exactly once.
+"""
+
+import pytest
+
+from repro.net import OAConfig
+from repro.service import (
+    ParkingConfig,
+    QueryWorkload,
+    UpdateWorkload,
+    build_parking_document,
+)
+from repro.sim import CostModel, SimulatedCluster
+
+#: Simulated seconds per experiment point (paper runs were longer; the
+#: queueing model reaches steady state quickly).
+DURATION = 15.0
+WARMUP = 4.0
+CLIENTS = 12
+UPDATE_RATE = 100.0
+
+
+@pytest.fixture(scope="session")
+def paper_config():
+    return ParkingConfig.paper_small()
+
+
+@pytest.fixture(scope="session")
+def paper_document(paper_config):
+    return build_parking_document(paper_config)
+
+
+def run_point(config, document, architecture, workload, oa_config=None,
+              n_clients=CLIENTS, duration=DURATION, update_rate=UPDATE_RATE,
+              cost_model=None, pre_query=None, schedule=None, warmup=WARMUP):
+    """One experiment point: a fresh simulated cluster + workload run."""
+    sim = SimulatedCluster(document.copy(), architecture,
+                           cost_model=cost_model or CostModel(),
+                           oa_config=oa_config or OAConfig())
+    metrics = sim.run(
+        workload,
+        n_clients=n_clients,
+        duration=duration,
+        warmup=warmup,
+        update_workload=UpdateWorkload(config, seed=97),
+        update_rate=update_rate,
+        pre_query=pre_query,
+        schedule=schedule,
+    )
+    return sim, metrics
+
+
+def workload_suite(config, selection="block"):
+    """The five workloads of Section 5.3."""
+    return [
+        ("QW-1", QueryWorkload.qw(config, 1, selection=selection, seed=101)),
+        ("QW-2", QueryWorkload.qw(config, 2, selection=selection, seed=102)),
+        ("QW-3", QueryWorkload.qw(config, 3, selection=selection, seed=103)),
+        ("QW-4", QueryWorkload.qw(config, 4, selection=selection, seed=104)),
+        ("QW-Mix", QueryWorkload.qw_mix(config, selection=selection,
+                                        seed=105)),
+    ]
+
+
+def print_table(title, columns, rows, note=""):
+    """Print an aligned results table."""
+    width = max(len(str(r[0])) for r in rows) + 2
+    col_width = max(12, *(len(c) + 2 for c in columns))
+    print(f"\n=== {title} ===")
+    header = " " * width + "".join(f"{c:>{col_width}}" for c in columns)
+    print(header)
+    for row in rows:
+        label, *values = row
+        cells = "".join(
+            f"{(f'{v:.2f}' if isinstance(v, float) else str(v)):>{col_width}}"
+            for v in values
+        )
+        print(f"{str(label):<{width}}{cells}")
+    if note:
+        print(note)

@@ -1,0 +1,74 @@
+"""Figure 7: query throughputs for the four architectures.
+
+Paper result (read off the figure):
+
+* Architecture 1 (centralized) handles very few queries on every
+  workload;
+* Architecture 2 roughly doubles Architecture 1 (updates are offloaded
+  but every query still visits the central server);
+* Architecture 3 triples Architecture 2 on QW-1 (DNS self-starting
+  routes type-1 queries straight to the data), but the central server
+  still bottlenecks QW-2..QW-4 and the mix;
+* Architecture 4 (hierarchical) is ~25% *worse* than Architecture 3 on
+  QW-1 (fewer machines hold block data) but at least 60% better than
+  every other architecture on QW-Mix.
+"""
+
+from benchmarks.conftest import print_table, run_point, workload_suite
+from repro.arch import all_architectures
+
+
+def _run(config, document):
+    architectures = all_architectures(config)
+    table = {}
+    for name, workload in workload_suite(config):
+        for arch in architectures:
+            _sim, metrics = run_point(config, document, arch, workload)
+            table[(name, arch.name)] = metrics.throughput
+    return architectures, table
+
+
+def test_figure7_architecture_throughputs(benchmark, paper_config,
+                                          paper_document):
+    architectures, table = benchmark.pedantic(
+        lambda: _run(paper_config, paper_document), rounds=1, iterations=1)
+
+    columns = [a.name for a in architectures]
+    rows = [
+        (workload, *(table[(workload, a.name)] for a in architectures))
+        for workload, _ in workload_suite(paper_config)
+    ]
+    print_table(
+        "Figure 7: throughput (queries/sec) by architecture",
+        columns, rows,
+        note="paper shape: arch1 < arch2 < arch3; arch4 best on QW-Mix, "
+             "~25% below arch3 on QW-1",
+    )
+
+    t = table
+    # Ordering on every workload: centralized is always worst.
+    for workload, _ in workload_suite(paper_config):
+        assert t[(workload, "centralized")] <= \
+            min(t[(workload, a.name)] for a in architectures[1:]) * 1.05
+
+    # Arch 2 ~2x arch 1 (updates offloaded).
+    assert t[("QW-Mix", "centralized-query")] > \
+        1.5 * t[("QW-Mix", "centralized")]
+
+    # Arch 3 >> arch 2 on QW-1 (paper: ~3x).
+    assert t[("QW-1", "distributed-two-level")] > \
+        2.0 * t[("QW-1", "centralized-query")]
+
+    # Arch 4 beats everything clearly on the mix (paper: >= 60%).
+    others = max(
+        t[("QW-Mix", "centralized")],
+        t[("QW-Mix", "centralized-query")],
+        t[("QW-Mix", "distributed-two-level")],
+    )
+    assert t[("QW-Mix", "hierarchical")] > 1.6 * others
+
+    # Arch 4 is worse than arch 3 on QW-1, but only moderately
+    # (paper: 25% worse).
+    assert t[("QW-1", "hierarchical")] < t[("QW-1", "distributed-two-level")]
+    assert t[("QW-1", "hierarchical")] > \
+        0.5 * t[("QW-1", "distributed-two-level")]

@@ -1,0 +1,84 @@
+"""Figure 9: dynamic load balancing while the system keeps answering.
+
+Paper setup: clients pose type-1 queries, 90% of them on one
+neighborhood X.  Mid-run, X's owner is told to delegate its blocks to
+the other sites one by one (the "crude" scheme).  The paper's trace
+shows average throughput roughly tripling between the start and the
+end of the redistribution, with the system answering queries the whole
+time.
+
+Scaled down here: delegations run between t=50s and t=100s of a 160s
+simulation (the paper used t=206s..373s of a longer run); client DNS
+caches expire on their normal TTL, which is what makes each hand-off
+take effect for the query stream.
+"""
+
+from benchmarks.conftest import print_table
+from repro.arch import hierarchical
+from repro.net import OAConfig
+from repro.service import QueryWorkload, UpdateWorkload
+from repro.service.parking import block_path
+from repro.sim import CostModel, SimulatedCluster
+
+HOT_CITY = "Pittsburgh"
+HOT_NEIGHBORHOOD = "Oakland"
+REBALANCE_START = 50.0
+REBALANCE_END = 100.0
+TOTAL = 160.0
+
+
+def _run(config, document):
+    sim = SimulatedCluster(document.copy(), hierarchical(config),
+                           cost_model=CostModel(),
+                           oa_config=OAConfig(cache_results=False))
+    sim.cluster.client_resolver.ttl = 15.0
+
+    workload = QueryWorkload.qw(config, 1, skew=0.9, hot_city=HOT_CITY,
+                                hot_neighborhood=HOT_NEIGHBORHOOD, seed=301)
+
+    blocks = config.block_ids()
+    step = (REBALANCE_END - REBALANCE_START) / len(blocks)
+    schedule = []
+    for index, block in enumerate(blocks):
+        path = block_path(config, HOT_CITY, HOT_NEIGHBORHOOD, block)
+        target = f"site-{index % 9}"
+        when = REBALANCE_START + index * step
+
+        def action(path=path, target=target):
+            if sim.cluster.owner_map.get(tuple(path)) != target:
+                sim.cluster.delegate(path, target)
+
+        schedule.append((when, action))
+
+    metrics = sim.run(workload, n_clients=16, duration=TOTAL, warmup=0,
+                      update_workload=UpdateWorkload(config, seed=302),
+                      update_rate=50, schedule=schedule)
+    return metrics
+
+
+def test_figure9_dynamic_load_balancing(benchmark, paper_config,
+                                        paper_document):
+    metrics = benchmark.pedantic(lambda: _run(paper_config, paper_document),
+                                 rounds=1, iterations=1)
+
+    trace = metrics.throughput_trace(bin_seconds=5.0)
+    rows = [(f"t={int(t):>3}s", count / 5.0) for t, count in trace]
+    print_table(
+        "Figure 9: queries/sec over time "
+        f"(redistribution {int(REBALANCE_START)}s..{int(REBALANCE_END)}s)",
+        ["throughput"], rows,
+        note="paper shape: ~3x average throughput after redistribution",
+    )
+
+    before = sum(c for t, c in trace if t <= REBALANCE_START)
+    before_rate = before / REBALANCE_START
+    after_window = [c for t, c in trace if t > REBALANCE_END + 20]
+    after_rate = sum(after_window) / (5.0 * len(after_window))
+    print(f"\nbefore: {before_rate:.1f} q/s   after: {after_rate:.1f} q/s   "
+          f"gain: {after_rate / before_rate:.2f}x")
+
+    # The paper reports ~3x; require a clear (>=2x) improvement, with
+    # the system having answered queries in every phase (the final bin
+    # may be a partial, empty one at the cut-off).
+    assert after_rate > 2.0 * before_rate
+    assert all(count > 0 for _t, count in trace[:-1])

@@ -1,0 +1,58 @@
+"""Section 5.5 (text): caching reduces query latency by 10-33%.
+
+"Our results show that even for our local area set-up, query latencies
+are reduced by 10-33% for type 3 and type 4 queries, and for the mixed
+workload."  Type 1/2 latencies are unaffected (already local).
+
+Latency is an uncontended measurement (light load, caches warmed
+during a long warm-up): the *throughput* interaction of caching under
+heavy load is Figure 10's subject.
+"""
+
+from benchmarks.conftest import print_table, run_point, workload_suite
+from repro.arch import hierarchical
+from repro.net import OAConfig
+
+
+def _run(config, document):
+    table = {}
+    for name, workload in workload_suite(config):
+        for label, oa_config in (
+            ("no-caching", OAConfig(cache_results=False)),
+            ("caching", OAConfig(cache_results=True)),
+        ):
+            _sim, metrics = run_point(config, document,
+                                      hierarchical(config), workload,
+                                      oa_config=oa_config, n_clients=2,
+                                      update_rate=0, warmup=20.0,
+                                      duration=20.0)
+            table[(name, label)] = metrics.mean_latency * 1000
+    return table
+
+
+def test_section55_caching_latency(benchmark, paper_config, paper_document):
+    table = benchmark.pedantic(lambda: _run(paper_config, paper_document),
+                               rounds=1, iterations=1)
+
+    rows = []
+    for name, _ in workload_suite(paper_config):
+        no_cache = table[(name, "no-caching")]
+        cached = table[(name, "caching")]
+        saving = 100 * (1 - cached / no_cache)
+        rows.append((name, no_cache, cached, round(saving, 1)))
+    print_table("Section 5.5: mean latency (ms) with and without caching",
+                ["no-caching", "caching", "saving %"], rows,
+                note="paper: 10-33% lower latency for QW-3/QW-4/QW-Mix")
+
+    # Type 3/4 and the mix get faster with caching.
+    for name in ("QW-3", "QW-4", "QW-Mix"):
+        assert table[(name, "caching")] < table[(name, "no-caching")]
+    # The type-3/4 savings land in the paper's 10-33% band (allowing
+    # a little simulation noise at the low end).
+    for name in ("QW-3", "QW-4"):
+        saving = 1 - table[(name, "caching")] / table[(name, "no-caching")]
+        assert 0.08 <= saving <= 0.45
+    # Type 1/2 are essentially unaffected.
+    for name in ("QW-1", "QW-2"):
+        ratio = table[(name, "caching")] / table[(name, "no-caching")]
+        assert 0.93 <= ratio <= 1.07

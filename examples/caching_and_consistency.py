@@ -1,0 +1,114 @@
+"""Partial-match caching, subsumption and query-based consistency.
+
+Walks through the caching behaviours of Section 3.3 and the
+consistency mechanism of Section 4 on the paper's own examples:
+
+* an Oakland query caches data at Pittsburgh's site;
+* a later Oakland-or-Shadyside query *partially* matches that cache and
+  only fetches the missing half;
+* once every neighborhood is cached, a wildcard query over all of them
+  is answered locally (subsumption);
+* a freshness tolerance decides whether the cache or the owner answers.
+
+Run:  python examples/caching_and_consistency.py
+"""
+
+from repro.net import Cluster
+from repro.xmlkit import parse_fragment
+
+DOCUMENT = """
+<usRegion id='NE'><state id='PA'><county id='Allegheny'>
+  <city id='Pittsburgh'>
+    <neighborhood id='Oakland'>
+      <block id='1'><parkingSpace id='1'><available>yes</available></parkingSpace></block>
+    </neighborhood>
+    <neighborhood id='Shadyside'>
+      <block id='1'><parkingSpace id='1'><available>no</available></parkingSpace></block>
+    </neighborhood>
+    <neighborhood id='Downtown'>
+      <block id='1'><parkingSpace id='1'><available>yes</available></parkingSpace></block>
+    </neighborhood>
+  </city>
+</county></state></usRegion>
+"""
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def main():
+    document = parse_fragment(DOCUMENT)
+    city = [("usRegion", "NE"), ("state", "PA"), ("county", "Allegheny"),
+            ("city", "Pittsburgh")]
+    clock = Clock()
+    cluster = Cluster(document, {
+        "pgh": [[("usRegion", "NE")]],
+        "oak": [city + [("neighborhood", "Oakland")]],
+        "shady": [city + [("neighborhood", "Shadyside")]],
+        "down": [city + [("neighborhood", "Downtown")]],
+    }, clock=clock)
+    pittsburgh = cluster.agent("pgh")
+
+    def sent():
+        return pittsburgh.stats["subqueries_sent"]
+
+    # -- partial-match caching ----------------------------------------
+    before = sent()
+    cluster.query(PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']",
+                  at_site="pgh")
+    print(f"Oakland query:            {sent() - before} subqueries "
+          "(cold cache)")
+
+    before = sent()
+    cluster.query(
+        PREFIX + "/neighborhood[@id='Oakland' or @id='Shadyside']"
+                 "/block[@id='1']", at_site="pgh")
+    print(f"Oakland-or-Shadyside:     {sent() - before} subquery "
+          "(Oakland half came from cache -- partial match)")
+
+    # -- subsumption ----------------------------------------------------
+    before = sent()
+    cluster.query(PREFIX + "/neighborhood[@id='Downtown']/block[@id='1']",
+                  at_site="pgh")
+    print(f"Downtown query:           {sent() - before} subquery")
+
+    before = sent()
+    results, _, _ = cluster.query(
+        PREFIX + "/neighborhood/block/parkingSpace[available='yes']",
+        at_site="pgh")
+    print(f"ALL-neighborhood query:   {sent() - before} subqueries -- "
+          f"subsumption: {len(results)} spaces entirely from cache")
+
+    # -- query-based consistency ----------------------------------------
+    clock.now = 300.0  # five minutes pass; caches are now 300s old
+    tolerant = (PREFIX + "/neighborhood[@id='Oakland']"
+                "/block[@id='1'][timestamp() > current-time() - 600]")
+    before = sent()
+    cluster.query(tolerant, at_site="pgh")
+    print(f"\n10-min tolerance query:   {sent() - before} subqueries "
+          "(300s-old cache is acceptable)")
+
+    strict = (PREFIX + "/neighborhood[@id='Oakland']"
+              "/block[@id='1'][timestamp() > current-time() - 60]")
+    before = sent()
+    cluster.query(strict, at_site="pgh")
+    print(f"1-min tolerance query:    {sent() - before} subquery "
+          "(stale cache bypassed, owner consulted)")
+
+    # The owner itself ignores freshness bounds: users always get an
+    # answer, even if the freshest copy is older than the tolerance.
+    results, _, _ = cluster.query(strict, at_site="oak")
+    print(f"same strict query at the owner: {len(results)} result "
+          "(owner's copy is definitionally freshest)")
+
+
+if __name__ == "__main__":
+    main()

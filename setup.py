@@ -1,0 +1,15 @@
+"""Setup shim for environments whose pip cannot build PEP 517 wheels."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Cache-and-Query for Wide Area Sensor Databases (IrisNet, "
+        "SIGMOD 2003) - full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

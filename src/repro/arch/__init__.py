@@ -1,0 +1,21 @@
+"""Deployment architectures (Figure 6) and placement variants."""
+
+from repro.arch.architectures import (
+    Architecture,
+    all_architectures,
+    balanced_hot_neighborhood,
+    centralized,
+    centralized_query_distributed_update,
+    distributed_two_level,
+    hierarchical,
+)
+
+__all__ = [
+    "Architecture",
+    "centralized",
+    "centralized_query_distributed_update",
+    "distributed_two_level",
+    "hierarchical",
+    "balanced_hot_neighborhood",
+    "all_architectures",
+]

@@ -1,0 +1,176 @@
+"""The four sensor-database architectures of Figure 6.
+
+Each architecture is a :class:`~repro.core.partition.PartitionPlan`
+over the parking document plus a routing policy:
+
+1. **Centralized** -- all data on one server; every query and update
+   goes there.
+2. **Centralized querying, distributed update** -- blocks distributed
+   over the worker sites (simulating a distributed object-relational
+   store), but all queries still enter through the central server,
+   which is the sole repository of the block-to-site mapping.
+3. **Distributed querying, distributed update, fixed two-level
+   organization** -- same data placement as (2), but the block-to-site
+   mapping lives in DNS, so type-1 queries self-start directly at the
+   owning site.
+4. **Distributed querying, distributed update, hierarchical
+   organization** -- the IrisNet placement: neighborhoods on their own
+   sites, cities on two more, the remaining upper hierarchy on one.
+
+Plus the *balanced* placements used by the load-balancing experiments
+(Figure 8): the hot neighborhood's blocks spread across all sites.
+"""
+
+from repro.core.partition import PartitionPlan
+from repro.service import parking
+
+
+class Architecture:
+    """A named placement plus its query-routing policy."""
+
+    def __init__(self, name, plan, forced_entry=None, description=""):
+        self.name = name
+        self.plan = plan
+        #: queries all enter at this site (architectures 1 and 2);
+        #: ``None`` means DNS self-starting routing.
+        self.forced_entry = forced_entry
+        self.description = description
+
+    @property
+    def uses_dns_routing(self):
+        return self.forced_entry is None
+
+    def entry_site(self, cluster, query):
+        """Where a client sends *query* under this architecture."""
+        if self.forced_entry is not None:
+            return self.forced_entry
+        site, _path = cluster.route_query(query)
+        return site
+
+    def __repr__(self):
+        return f"Architecture({self.name!r}, sites={len(self.plan.sites)})"
+
+
+def _site_names(count):
+    return [f"site-{i}" for i in range(count)]
+
+
+def centralized(config):
+    """Architecture 1: everything on a single central server."""
+    central = "site-0"
+    plan = PartitionPlan({central: [parking.region_path(config)]})
+    return Architecture(
+        "centralized", plan, forced_entry=central,
+        description="all data, queries and updates at one server",
+    )
+
+
+def _blocks_round_robin(config, workers):
+    """Assign every block to a worker site, round-robin."""
+    assignments = {site: [] for site in workers}
+    index = 0
+    for city in config.city_names():
+        for neighborhood in config.neighborhood_names():
+            for block in config.block_ids():
+                site = workers[index % len(workers)]
+                assignments[site].append(
+                    parking.block_path(config, city, neighborhood, block)
+                )
+                index += 1
+    return assignments
+
+
+def centralized_query_distributed_update(config, n_sites=9):
+    """Architecture 2: blocks distributed, queries through the center.
+
+    Simulates a simple distributed object-relational database: the
+    block "table" is partitioned over the workers while the hierarchy
+    lives at the central server, which every query must visit.
+    """
+    sites = _site_names(n_sites)
+    central, workers = sites[0], sites[1:]
+    assignments = _blocks_round_robin(config, workers)
+    assignments[central] = [parking.region_path(config)]
+    return Architecture(
+        "centralized-query", PartitionPlan(assignments),
+        forced_entry=central,
+        description="blocks on workers, all queries enter centrally",
+    )
+
+
+def distributed_two_level(config, n_sites=9):
+    """Architecture 3: same placement as (2) but DNS-routed queries."""
+    base = centralized_query_distributed_update(config, n_sites=n_sites)
+    return Architecture(
+        "distributed-two-level", base.plan, forced_entry=None,
+        description="blocks on workers, block-to-site mapping in DNS",
+    )
+
+
+def hierarchical(config, n_sites=9):
+    """Architecture 4: the IrisNet hierarchical placement (Section 5.3).
+
+    Each neighborhood gets its own site, each city its own site, and
+    the remaining upper hierarchy one more -- exactly the paper's
+    "scenario of choice".  With the default config this needs 9 sites
+    (6 neighborhoods + 2 cities + 1 top).
+    """
+    cities = config.city_names()
+    neighborhoods = config.neighborhood_names()
+    needed = len(cities) * len(neighborhoods) + len(cities) + 1
+    if n_sites < needed:
+        raise ValueError(
+            f"hierarchical placement needs {needed} sites, got {n_sites}"
+        )
+    sites = _site_names(n_sites)
+    assignments = {sites[0]: [parking.region_path(config)]}
+    index = 1
+    for city in cities:
+        assignments.setdefault(sites[index], []).append(
+            parking.city_path(config, city))
+        index += 1
+    for city in cities:
+        for neighborhood in neighborhoods:
+            assignments.setdefault(sites[index], []).append(
+                parking.neighborhood_path(config, city, neighborhood))
+            index += 1
+    # Any leftover sites participate with no initial ownership (they
+    # become useful after load balancing / caching).
+    for site in sites[index:]:
+        assignments.setdefault(site, [])
+    return Architecture(
+        "hierarchical", PartitionPlan(assignments), forced_entry=None,
+        description="neighborhoods/cities/top on separate sites (IrisNet)",
+    )
+
+
+def balanced_hot_neighborhood(config, hot_city, hot_neighborhood, n_sites=9):
+    """Figure 8's balanced placement: spread the hot neighborhood.
+
+    Starts from the hierarchical placement, then re-assigns the hot
+    neighborhood's blocks round-robin across *all* sites.
+    """
+    base = hierarchical(config, n_sites=n_sites)
+    assignments = {site: list(paths)
+                   for site, paths in base.plan.assignments.items()}
+    sites = _site_names(n_sites)
+    for index, block in enumerate(config.block_ids()):
+        site = sites[index % len(sites)]
+        assignments.setdefault(site, []).append(
+            parking.block_path(config, hot_city, hot_neighborhood, block)
+        )
+    return Architecture(
+        "balanced", PartitionPlan(assignments), forced_entry=None,
+        description="hierarchical + hot neighborhood's blocks spread "
+                    "across all sites",
+    )
+
+
+def all_architectures(config, n_sites=9):
+    """The four architectures of Figure 6, in order."""
+    return [
+        centralized(config),
+        centralized_query_distributed_update(config, n_sites=n_sites),
+        distributed_two_level(config, n_sites=n_sites),
+        hierarchical(config, n_sites=n_sites),
+    ]

@@ -1,0 +1,85 @@
+"""Aggregate queries with freshness/precision tolerance (Section 4).
+
+The paper extends query-based consistency to "acceptable precision,
+based on certain aggregate attributes of the data": e.g. a query for
+the number of available parking spots in a city may accept a 10%
+tolerance rather than an exact, fully fresh count.
+
+Implementation: scalar answers (count/sum/boolean over a region) are
+cached per query with the clock reading at which they were computed.
+A tolerant query supplies a ``max_age``; a cached value no older than
+that is returned without touching the network.  The mapping from the
+paper's value-based tolerance to this time-based bound is the standard
+drift argument: if the aggregate changes at most ``r`` fraction per
+second (a property of the sensor process), a ``p`` precision tolerance
+is honoured by ``max_age = p / r``.  :class:`AggregateCache` exposes
+exactly that conversion.
+"""
+
+
+class CachedScalar:
+    """One cached aggregate value."""
+
+    __slots__ = ("value", "computed_at")
+
+    def __init__(self, value, computed_at):
+        self.value = value
+        self.computed_at = computed_at
+
+    def age(self, now):
+        return now - self.computed_at
+
+    def __repr__(self):
+        return f"CachedScalar({self.value!r} @ {self.computed_at:.1f})"
+
+
+class AggregateCache:
+    """Freshness-bounded cache of scalar query answers for one site."""
+
+    def __init__(self, clock, drift_rate=None):
+        """*drift_rate*: maximum fractional change of aggregates per
+        second, used to convert precision tolerances into ages; without
+        it only explicit ``max_age`` bounds are accepted."""
+        self.clock = clock
+        self.drift_rate = drift_rate
+        self._entries = {}
+        self.stats = {"hits": 0, "misses": 0, "stores": 0}
+
+    # ------------------------------------------------------------------
+    def max_age_for_precision(self, precision):
+        """The staleness bound honouring a fractional *precision*."""
+        if self.drift_rate is None or self.drift_rate <= 0:
+            raise ValueError(
+                "precision tolerances need a configured drift_rate"
+            )
+        return precision / self.drift_rate
+
+    # ------------------------------------------------------------------
+    def lookup(self, query, max_age=None, precision=None):
+        """A cached value fresh enough for the given tolerance, or None."""
+        if max_age is None and precision is not None:
+            max_age = self.max_age_for_precision(precision)
+        if max_age is None:
+            self.stats["misses"] += 1
+            return None
+        entry = self._entries.get(query)
+        if entry is not None and entry.age(self.clock()) <= max_age:
+            self.stats["hits"] += 1
+            return entry
+        self.stats["misses"] += 1
+        return None
+
+    def store(self, query, value):
+        entry = CachedScalar(value, self.clock())
+        self._entries[query] = entry
+        self.stats["stores"] += 1
+        return entry
+
+    def invalidate(self, query=None):
+        if query is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(query, None)
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,245 @@
+"""Wire-format answers: cacheable fragments exchanged between sites.
+
+Every inter-site answer in this system is a *generalized* fragment
+(Section 3.3): rather than the bare XPath result, a site returns the
+smallest superset of the answer that satisfies the cache invariants
+
+* **(C1)** the fragment is a union of local informations and local ID
+  informations of document nodes, and
+* **(C2)** whenever it contains (ID) information for a node it also
+  contains the local ID information of the node's parent (hence of all
+  ancestors).
+
+Such a fragment is rooted at the global document root and can be merged
+into any site database while preserving invariants I1/I2 -- this is
+what makes the paper's aggressive, partial-match caching sound.  The
+receiving site re-extracts the user-visible answer by evaluating the
+original query over the merged data.
+
+Statuses are rewritten for the receiver: the sender's ``owned`` and
+``complete`` nodes arrive as ``complete``, ID-only nodes as
+``id-complete``/``incomplete``.
+
+The paper splices subquery answers into ``asksubquery`` placeholders
+inside an annotated result document; because our wire fragments are
+root-rooted, splicing is simply a merge, and the placeholder metadata
+travels alongside the fragment as :class:`Subquery` records.
+"""
+
+from repro.core.errors import CoreError
+from repro.core.idable import (
+    id_path_of,
+    id_stub,
+    idable_children,
+    node_id,
+    non_idable_children,
+)
+from repro.core.status import (
+    Status,
+    get_status,
+    get_timestamp,
+    set_status,
+    set_timestamp,
+)
+
+
+class Subquery:
+    """A pending subquery: what to ask, where it is anchored, and why.
+
+    ``consumed`` records how many pattern items the anchor path has
+    satisfied and ``descendant_gap``/``subtree`` describe the residual
+    shape; together they let the gather driver recognize when a newly
+    emitted subquery is *subsumed* by one already answered (its data,
+    if it existed, would have arrived in the earlier generalized
+    answer), so authoritative answers are never re-asked in narrower
+    form.
+    """
+
+    __slots__ = ("query", "anchor_path", "reason", "scalar", "consumed",
+                 "descendant_gap", "subtree")
+
+    # Reasons mirror the QEG cases of Section 3.5 / 4.
+    INCOMPLETE = "incomplete"            # only the node's ID is stored
+    ID_COMPLETE = "id-complete"          # local information missing
+    UNSEPARABLE = "unseparable-predicates"
+    STALE = "stale-cache"                # consistency predicate failed
+    MISSING_SUBTREE = "missing-subtree"  # result subtree partly absent
+    NESTED_FETCH = "nested-fetch"        # nesting depth > 0 collect point
+    NESTED_PROBE = "nested-probe"        # boolean probe strategy
+
+    def __init__(self, query, anchor_path, reason, scalar=False,
+                 consumed=None, descendant_gap=False, subtree=False):
+        self.query = query
+        self.anchor_path = tuple(tuple(entry) for entry in anchor_path)
+        self.reason = reason
+        self.scalar = scalar
+        self.consumed = consumed
+        self.descendant_gap = descendant_gap
+        self.subtree = subtree
+
+    def __repr__(self):
+        kind = "scalar " if self.scalar else ""
+        return f"Subquery({kind}{self.query!r}, reason={self.reason})"
+
+    def __eq__(self, other):
+        return isinstance(other, Subquery) and self.query == other.query \
+            and self.scalar == other.scalar
+
+    def __hash__(self):
+        return hash((self.query, self.scalar))
+
+
+class AnswerBuilder:
+    """Builds a wire-format fragment from a site database.
+
+    The builder lazily materializes the root path of every included
+    node with local ID information (satisfying C2) and marks statuses
+    from the receiver's point of view.
+    """
+
+    def __init__(self, database):
+        self.database = database
+        self.root = None
+        self._mapping = {}  # id(db element) -> answer element
+
+    @property
+    def is_empty(self):
+        return self.root is None
+
+    # ------------------------------------------------------------------
+    def _ensure(self, element):
+        """Answer-side element for *element*, creating ancestors as needed."""
+        key = id(element)
+        if key in self._mapping:
+            return self._mapping[key]
+        chain = element.path_from_root()
+        if self.root is None:
+            top = chain[0]
+            self.root = id_stub(top)
+            set_status(self.root, Status.INCOMPLETE)
+            self._mapping[id(top)] = self.root
+        current = self._mapping[id(chain[0])]
+        for db_node in chain[1:]:
+            key = id(db_node)
+            if key in self._mapping:
+                current = self._mapping[key]
+                continue
+            identifier = node_id(db_node)
+            found = None
+            for child in current.element_children(identifier[0]):
+                if child.id == identifier[1]:
+                    found = child
+                    break
+            if found is None:
+                found = id_stub(db_node)
+                set_status(found, Status.INCOMPLETE)
+                current.append(found)
+            self._mapping[key] = found
+            current = found
+        return current
+
+    def _upgrade_status(self, answer_element, status):
+        if get_status(answer_element).rank < status.rank:
+            set_status(answer_element, status)
+
+    # ------------------------------------------------------------------
+    def include_id_information(self, element):
+        """Include the local ID information of *element* (pass-through node).
+
+        The sender must itself hold at least the node's local ID
+        information (guaranteed by I2 for any node it stores data
+        below).
+        """
+        if not get_status(element).has_id_information:
+            raise CoreError(
+                f"cannot include ID information of {node_id(element)}: "
+                f"sender only has status {get_status(element).value}"
+            )
+        self.include_ancestors(element)
+        target = self._ensure(element)
+        self._upgrade_status(target, Status.ID_COMPLETE)
+        existing = {node_id(c) for c in idable_children(target)}
+        for child in idable_children(element):
+            if node_id(child) not in existing:
+                stub = id_stub(child)
+                set_status(stub, Status.INCOMPLETE)
+                target.append(stub)
+        return target
+
+    def include_ancestors(self, element):
+        """Include local ID information of every proper ancestor (C2)."""
+        for ancestor in element.ancestors():
+            self.include_id_information(ancestor)
+
+    def include_local_information(self, element):
+        """Include the full local information of *element*.
+
+        The receiver records the node as ``complete`` (a cached copy),
+        regardless of whether the sender owned it.
+        """
+        status = get_status(element)
+        if not status.has_local_information:
+            raise CoreError(
+                f"cannot include local information of {node_id(element)}: "
+                f"sender only has status {status.value}"
+            )
+        self.include_ancestors(element)
+        target = self._ensure(element)
+        # Attributes (system status replaced by the receiver-view one).
+        for name, value in element.attrib.items():
+            if name != "status":
+                target.set(name, value)
+        set_status(target, Status.COMPLETE)
+        stamp = get_timestamp(element)
+        if stamp is not None:
+            set_timestamp(target, stamp)
+        # Non-IDable content, replacing whatever scaffolding was there.
+        for child in list(non_idable_children(target)):
+            target.remove(child)
+        for child in non_idable_children(element):
+            target.append(child.copy())
+        # Child ID stubs.
+        existing = {node_id(c) for c in idable_children(target)}
+        for child in idable_children(element):
+            if node_id(child) not in existing:
+                stub = id_stub(child)
+                set_status(stub, Status.INCOMPLETE)
+                target.append(stub)
+        return target
+
+    def include_subtree(self, element, on_missing=None):
+        """Include local information of *element* and all its descendants.
+
+        XPath answers are whole subtrees, so a result node drags in the
+        local information of every IDable node beneath it.  For
+        descendants whose local information the sender lacks,
+        *on_missing(descendant)* is invoked (the QEG walker emits a
+        subquery there); with no callback the gap is silently included
+        as ID-only data.
+        """
+        stack = [element]
+        while stack:
+            node = stack.pop()
+            status = get_status(node)
+            if status.has_local_information:
+                self.include_local_information(node)
+                stack.extend(idable_children(node))
+            else:
+                if status.has_id_information:
+                    self.include_id_information(node)
+                if on_missing is not None:
+                    on_missing(node)
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """The finished fragment (or ``None`` when nothing was included)."""
+        return self.root
+
+
+def subquery_for_subtree(element):
+    """The subquery fetching everything below *element* (by its ID path)."""
+    from repro.core.subquery import render_id_path_query
+
+    path = id_path_of(element)
+    return Subquery(render_id_path_query(path), path,
+                    Subquery.MISSING_SUBTREE, subtree=True)

@@ -1,0 +1,364 @@
+"""A site database: one fragment of the global document, with statuses.
+
+Each organizing agent stores a single document fragment rooted at the
+global document's root (invariant I2 guarantees the root path is always
+present).  IDable nodes carry a ``status`` attribute (Section 3.2) and
+owned/complete nodes carry a data ``timestamp``.
+
+Owned data and cached data live in the same document with different
+status tags, which is exactly what unifies query processing at a site
+(Section 1, contribution 4).
+"""
+
+import time
+
+from repro.core.errors import CacheError, CoreError
+from repro.core.idable import (
+    find_by_id_path,
+    id_path_of,
+    id_stub,
+    idable_children,
+    lowest_idable_ancestor_or_self,
+    node_id,
+    non_idable_children,
+)
+from repro.core.status import (
+    Status,
+    get_status,
+    get_timestamp,
+    set_status,
+    set_timestamp,
+)
+from repro.xmlkit.nodes import Element
+
+
+class SensorDatabase:
+    """The document fragment stored at one site, plus its bookkeeping.
+
+    *clock* is a zero-argument callable returning the site's local time
+    in seconds; it defaults to :func:`time.time` and is replaced by the
+    simulated clock in the discrete-event experiments.
+    """
+
+    def __init__(self, root, clock=None, site_id=None):
+        if not isinstance(root, Element):
+            raise CoreError("a SensorDatabase needs a root Element")
+        self.root = root
+        self.clock = clock or time.time
+        self.site_id = site_id
+        # Statistics used by the caching experiments.
+        self.stats = {
+            "updates_applied": 0,
+            "fragments_merged": 0,
+            "nodes_upgraded": 0,
+            "nodes_refreshed": 0,
+            "evictions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, root_tag, root_id, clock=None, site_id=None,
+              status=Status.INCOMPLETE):
+        """A database holding only the root's ID."""
+        root = Element(root_tag, attrib={"id": root_id})
+        set_status(root, status)
+        return cls(root, clock=clock, site_id=site_id)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find(self, id_path, required=False):
+        """Resolve an ID path to the stored element (or ``None``)."""
+        return find_by_id_path(self.root, id_path, required=required)
+
+    def status_of(self, element):
+        """The status recorded on an IDable element."""
+        return get_status(element)
+
+    def effective_status(self, element):
+        """The status governing *element*: its own, or its IDable ancestor's.
+
+        Non-IDable nodes implicitly share the status of their lowest
+        IDable ancestor (Section 3.2).
+        """
+        return get_status(lowest_idable_ancestor_or_self(element))
+
+    def owns(self, element):
+        return get_status(element) is Status.OWNED
+
+    def iter_idable(self):
+        """Yield every IDable node stored at this site, top-down."""
+        stack = [self.root]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(idable_children(element)))
+
+    def owned_nodes(self):
+        """All nodes this site owns."""
+        return [e for e in self.iter_idable() if get_status(e) is Status.OWNED]
+
+    def owned_paths(self):
+        """ID paths of all owned nodes."""
+        return [tuple(id_path_of(e)) for e in self.owned_nodes()]
+
+    def size(self):
+        """Number of element nodes stored."""
+        return self.root.size()
+
+    # ------------------------------------------------------------------
+    # Sensor updates (owner side)
+    # ------------------------------------------------------------------
+    def apply_update(self, id_path, attributes=None, values=None,
+                     require_owned=True):
+        """Apply a sensor update to the node at *id_path*.
+
+        *attributes* maps attribute names to new values; *values* maps
+        non-IDable child element names to new text content (children
+        are created when absent).  The node's timestamp is set from the
+        site clock.
+
+        Returns the updated element.  Raises :class:`CoreError` when
+        the node is not owned here (the caller should forward the
+        update to the owner), or :class:`UnknownNodeError` when the
+        node is not stored at all.
+        """
+        element = self.find(id_path, required=True)
+        if require_owned and get_status(element) is not Status.OWNED:
+            raise CoreError(
+                f"site {self.site_id!r} does not own "
+                f"{node_id(element)}; forward the update to the owner"
+            )
+        for name, value in (attributes or {}).items():
+            if name in ("id", "status"):
+                raise CoreError(f"updates may not modify the {name!r} attribute")
+            element.set(name, value)
+        for tag, text in (values or {}).items():
+            child = element.child(tag)
+            if child is not None and child.id is not None:
+                raise CoreError(
+                    f"update value {tag!r} addresses an IDable child; "
+                    "updates apply only to local information"
+                )
+            if child is None:
+                child = Element(tag)
+                element.append(child)
+            child.set_text(text)
+        set_timestamp(element, self.clock())
+        self.stats["updates_applied"] += 1
+        return element
+
+    # ------------------------------------------------------------------
+    # Merging answer fragments (caching)
+    # ------------------------------------------------------------------
+    def store_fragment(self, fragment):
+        """Merge a wire-format answer *fragment* into this database.
+
+        The fragment is a tree rooted at the global root in which each
+        IDable node carries the status the *receiver* should record
+        (``complete``, ``id-complete`` or ``incomplete``) plus a
+        timestamp on data-bearing nodes.  Invariants C1/C2 hold for
+        every fragment produced by :mod:`repro.core.answer`, so merging
+        preserves I1/I2.
+
+        Merge policy per matched node (by ``(tag, id)``):
+
+        * an ``owned`` node is never modified by a cache merge -- the
+          owner's copy is authoritative (only child ID stubs it already
+          has are reconciled);
+        * a higher-ranked incoming status upgrades the node and brings
+          its content along;
+        * equal ``complete`` ranks are resolved by timestamp: newer
+          data replaces older ("replaces it if a fresh copy of the same
+          data is available", Section 3.3).
+        """
+        if node_id(fragment) != node_id(self.root):
+            raise CacheError(
+                f"fragment rooted at {node_id(fragment)} does not match "
+                f"database root {node_id(self.root)}"
+            )
+        self._merge_node(self.root, fragment)
+        self.stats["fragments_merged"] += 1
+
+    def _merge_node(self, target, incoming):
+        target_status = get_status(target)
+        incoming_status = get_status(incoming)
+
+        if target_status is Status.OWNED:
+            pass  # authoritative; never touched by cached data
+        elif incoming_status.rank > target_status.rank:
+            self._adopt_content(target, incoming, incoming_status)
+            self.stats["nodes_upgraded"] += 1
+        elif (
+            incoming_status.rank == target_status.rank
+            and incoming_status.has_local_information
+        ):
+            new_time = get_timestamp(incoming)
+            old_time = get_timestamp(target)
+            if new_time is not None and (old_time is None or new_time > old_time):
+                self._adopt_content(target, incoming, incoming_status)
+                self.stats["nodes_refreshed"] += 1
+
+        # Recurse into matched IDable children; graft unmatched ones.
+        index = {node_id(c): c for c in idable_children(target)}
+        for child in idable_children(incoming):
+            existing = index.get(node_id(child))
+            if existing is None:
+                grafted = self._graft_stub(target, child)
+                self._merge_node(grafted, child)
+            else:
+                self._merge_node(existing, child)
+
+    def _graft_stub(self, target, incoming_child):
+        stub = id_stub(incoming_child)
+        set_status(stub, Status.INCOMPLETE)
+        target.append(stub)
+        return stub
+
+    def _adopt_content(self, target, incoming, incoming_status):
+        """Replace *target*'s own-level content with *incoming*'s."""
+        if incoming_status.has_local_information:
+            # Replace attributes (except id) and non-IDable children.
+            for name in list(target.attrib):
+                if name != "id":
+                    target.delete_attribute(name)
+            for name, value in incoming.attrib.items():
+                if name != "id":
+                    target.set(name, value)
+            for child in list(non_idable_children(target)):
+                target.remove(child)
+            for child in non_idable_children(incoming):
+                target.append(child.copy())
+        set_status(target, incoming_status)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def evict(self, id_path, keep_ids=False):
+        """Drop cached data for the node at *id_path*.
+
+        Data is always removed in units of local informations
+        (Section 3.3, "Evicting (cached) data").  With ``keep_ids``
+        the node is demoted to ``id-complete`` (its own local info is
+        dropped, child IDs stay); otherwise the node is demoted to
+        ``incomplete`` and its whole subtree is removed.
+
+        Owned data cannot be evicted, nor can a subtree containing an
+        owned node.
+        """
+        element = self.find(id_path, required=True)
+        if get_status(element) is Status.OWNED:
+            raise CacheError(f"cannot evict owned node {node_id(element)}")
+        for descendant in element.descendants():
+            if get_status(descendant, default=None) is Status.OWNED:
+                raise CacheError(
+                    f"cannot evict {node_id(element)}: descendant "
+                    f"{node_id(descendant)} is owned here"
+                )
+        if keep_ids:
+            for child in list(non_idable_children(element)):
+                element.remove(child)
+            for child in idable_children(element):
+                self._demote_to_stub(child)
+            set_status(element, Status.ID_COMPLETE)
+        else:
+            self._demote_to_stub(element)
+        self.stats["evictions"] += 1
+        return element
+
+    def evict_all_cached(self):
+        """Evict every cached (``complete``) node that can be evicted.
+
+        Owned data, and any subtree containing owned data, stays.  Used
+        by experiments that control cache hit ratios.  Returns the
+        number of nodes evicted.
+        """
+        evicted = 0
+        stack = [self.root]
+        while stack:
+            element = stack.pop()
+            status = get_status(element)
+            if status is Status.COMPLETE:
+                has_owned_below = any(
+                    get_status(d) is Status.OWNED
+                    for d in element.descendants()
+                )
+                if not has_owned_below:
+                    self._demote_to_stub(element)
+                    self.stats["evictions"] += 1
+                    evicted += 1
+                    continue
+            stack.extend(idable_children(element))
+        return evicted
+
+    def _demote_to_stub(self, element):
+        for child in list(element.children):
+            element.remove(child)
+        for name in list(element.attrib):
+            if name != "id":
+                element.delete_attribute(name)
+        set_status(element, Status.INCOMPLETE)
+
+    # ------------------------------------------------------------------
+    # Ownership transitions (used by the migration protocol)
+    # ------------------------------------------------------------------
+    def mark_owned(self, id_path):
+        """Promote a complete node to owned (migration step 3, new owner)."""
+        element = self.find(id_path, required=True)
+        if not get_status(element).has_local_information:
+            raise CoreError(
+                f"cannot take ownership of {node_id(element)}: local "
+                "information is not stored (fetch it first)"
+            )
+        set_status(element, Status.OWNED)
+        return element
+
+    def release_ownership(self, id_path):
+        """Demote an owned node to complete (migration step 3, old owner)."""
+        element = self.find(id_path, required=True)
+        if get_status(element) is not Status.OWNED:
+            raise CoreError(f"{node_id(element)} is not owned here")
+        set_status(element, Status.COMPLETE)
+        return element
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path):
+        """Write the site fragment (statuses, timestamps and all) to a
+        file, so an organizing agent can restart from disk."""
+        from repro.xmlkit.serializer import write_file
+
+        write_file(self.root, path, pretty=True)
+
+    @classmethod
+    def load(cls, path, clock=None, site_id=None):
+        """Restore a database previously written by :meth:`save`."""
+        from repro.xmlkit.parser import parse_file
+
+        document = parse_file(path)
+        return cls(document.root, clock=clock, site_id=site_id)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self):
+        """A compact status summary, for debugging and tests."""
+        lines = []
+        for element in self.iter_idable():
+            path = "/".join(
+                f"{tag}={identifier}" for tag, identifier in id_path_of(element)
+            )
+            status = get_status(element)
+            stamp = get_timestamp(element)
+            suffix = f" t={stamp:.0f}" if stamp is not None else ""
+            lines.append(f"{path} [{status.value}]{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"SensorDatabase(site={self.site_id!r}, root={node_id(self.root)}, "
+            f"nodes={self.size()})"
+        )

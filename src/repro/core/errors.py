@@ -1,0 +1,39 @@
+"""Exception hierarchy for the core fragmentation/caching/QEG layer."""
+
+
+class CoreError(Exception):
+    """Base class for all errors raised by :mod:`repro.core`."""
+
+
+class PartitionError(CoreError):
+    """Raised when a requested partitioning violates the ownership rules.
+
+    The paper permits arbitrary ownership sets subject to two
+    constraints: every node has exactly one owner, and only IDable
+    nodes may be owned separately from their parent (Section 3.2).
+    """
+
+
+class InvariantViolation(CoreError):
+    """Raised (or collected) when a site database violates I1/I2/C1/C2."""
+
+
+class UnknownNodeError(CoreError):
+    """Raised when an ID path does not resolve to a node."""
+
+
+class CacheError(CoreError):
+    """Raised when a fragment cannot be cached without breaking invariants."""
+
+
+class QueryRoutingError(CoreError):
+    """Raised when a query cannot be routed to a responsible site."""
+
+
+class UnsupportedDistributedQueryError(CoreError):
+    """Raised for queries whose *main* path cannot be evaluated distributedly.
+
+    The single-site evaluator supports the full unordered fragment; the
+    distributed walker additionally requires the main location path to
+    descend the hierarchy (child and ``//`` steps).
+    """

@@ -1,0 +1,295 @@
+"""The gather driver: iterate QEG until the answer is complete.
+
+An organizing agent answers a query by looping:
+
+1. run QEG over the local database (owned + cached data);
+2. send every emitted subquery to the responsible remote site
+   (via the caller-supplied ``send`` function);
+3. merge the returned wire fragments back in (into the real database
+   when caching is enabled -- the paper's aggressive caching -- or into
+   a throwaway overlay otherwise), record scalar probe answers;
+4. repeat until QEG emits no subqueries.
+
+For nesting depth 0 the loop converges in one round against owners
+whose own answers are complete; deeper rounds occur for nesting
+depth > 0 (fetch-then-evaluate) and for probe strategies.
+
+The final user-visible answer is re-extracted from the gathered data by
+evaluating the original query (minus consistency predicates -- freshness
+was enforced during gathering) and keeping matches whose subtrees are
+materialized.
+"""
+
+from repro.core.aggregates import AggregateCache
+from repro.core.database import SensorDatabase
+from repro.core.errors import CoreError
+from repro.core.idable import idable_children, lowest_idable_ancestor_or_self
+from repro.core.qeg import (
+    FETCH_SUBTREE,
+    GENERALIZE_ANSWER,
+    CompiledPattern,
+    compile_pattern,
+    run_qeg,
+)
+from repro.core.status import get_status, strip_internal_attributes
+from repro.xmlkit.nodes import Element, Text
+from repro.xpath.ast import FunctionCall, LocationPath
+from repro.xpath.evaluator import Evaluator
+from repro.xpath import parser as xpath_parser
+
+_EVALUATOR = Evaluator()
+
+#: Scalar wrappers an agent accepts around an absolute location path.
+SCALAR_WRAPPERS = ("boolean", "count", "sum", "string", "number")
+
+
+class GatherError(CoreError):
+    """Raised when gathering fails to converge."""
+
+
+class GatherOutcome:
+    """Everything a gather run produced, for answering and accounting."""
+
+    def __init__(self, pattern, wire_answer, rounds, subqueries_sent,
+                 view):
+        self.pattern = pattern
+        self.wire_answer = wire_answer
+        self.rounds = rounds
+        self.subqueries_sent = subqueries_sent
+        self.view = view  # the database the answer was extracted from
+
+    @property
+    def used_remote_data(self):
+        return bool(self.subqueries_sent)
+
+
+def _is_path_prefix(shorter, longer):
+    return len(shorter) <= len(longer) and \
+        tuple(longer[:len(shorter)]) == tuple(shorter)
+
+
+def _subsumed_by(pending, answered, pattern):
+    """Whether *pending*'s data was already covered by an answered ask.
+
+    An answered subquery's generalized reply is authoritative for the
+    whole region its query selects; a later, narrower ask along the
+    same pattern (deeper anchor, correspondingly more items consumed,
+    no ``//`` ambiguity in between) can only select a subset of that
+    region and therefore needs no new round-trip -- whatever it would
+    fetch either arrived already or provably does not exist.
+    """
+    for earlier in answered:
+        if earlier.scalar:
+            continue
+        if not _is_path_prefix(earlier.anchor_path, pending.anchor_path):
+            continue
+        if earlier.subtree:
+            return True
+        if pending.subtree or pending.scalar:
+            continue
+        if earlier.descendant_gap or pending.descendant_gap:
+            continue
+        if earlier.consumed is None or pending.consumed is None:
+            continue
+        depth_gap = len(pending.anchor_path) - len(earlier.anchor_path)
+        if pending.consumed - earlier.consumed != depth_gap:
+            continue
+        between = pattern.items[earlier.consumed:pending.consumed]
+        if any(item.descendant for item in between):
+            continue
+        return True
+    return False
+
+
+def _subtree_materialized(element):
+    stack = [element]
+    while stack:
+        node = stack.pop()
+        if not get_status(node).has_local_information:
+            return False
+        stack.extend(idable_children(node))
+    return True
+
+
+class GatherDriver:
+    """Drives QEG-plus-subqueries for one site.
+
+    *send* is a callable ``send(subquery) -> Element | scalar | None``
+    implementing remote delivery (DNS lookup + transport); ``None``
+    means the remote had nothing.  *cache_results* controls whether
+    gathered fragments are merged into the site database (the paper's
+    default) or into a per-query overlay.
+    """
+
+    MAX_ROUNDS = 12
+
+    def __init__(self, database, send, schema=None, cache_results=True,
+                 nesting_strategy=FETCH_SUBTREE,
+                 generalization=GENERALIZE_ANSWER):
+        self.database = database
+        self.send = send
+        self.schema = schema
+        self.cache_results = cache_results
+        self.nesting_strategy = nesting_strategy
+        self.generalization = generalization
+        self.aggregates = AggregateCache(database.clock)
+        self.stats = {
+            "queries": 0,
+            "rounds": 0,
+            "subqueries_sent": 0,
+            "local_hits": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def compile(self, query):
+        if isinstance(query, CompiledPattern):
+            return query
+        return compile_pattern(query, schema=self.schema)
+
+    def _view(self):
+        if self.cache_results:
+            return self.database
+        overlay = SensorDatabase(
+            self.database.root.copy(),
+            clock=self.database.clock,
+            site_id=self.database.site_id,
+        )
+        return overlay
+
+    # ------------------------------------------------------------------
+    def gather(self, query, now=None, nesting_strategy=None):
+        """Gather everything *query* needs; returns a :class:`GatherOutcome`."""
+        pattern = self.compile(query)
+        if now is None:
+            now = self.database.clock()
+        if nesting_strategy is None:
+            nesting_strategy = self.nesting_strategy
+        view = self._view()
+        probe_results = {}
+        answered = []
+        answered_keys = set()
+        sent = []
+        rounds = 0
+        result = None
+        for rounds in range(1, self.MAX_ROUNDS + 1):
+            result = run_qeg(view, pattern, now=now,
+                             probe_results=probe_results,
+                             nesting_strategy=nesting_strategy,
+                             generalization=self.generalization)
+            # A subquery whose answer was already merged is resolved --
+            # and so is any narrower ask it subsumes: the remote's
+            # generalized answer is authoritative for everything its
+            # query could yield, so data still missing locally (e.g. ID
+            # stubs that failed the predicate remotely) simply does not
+            # match.
+            pending = [
+                sq for sq in result.subqueries
+                if (sq.query, sq.scalar) not in answered_keys
+                and not _subsumed_by(sq, answered, pattern)
+            ]
+            if not pending:
+                break
+            for subquery in pending:
+                reply = self.send(subquery)
+                sent.append(subquery)
+                answered.append(subquery)
+                answered_keys.add((subquery.query, subquery.scalar))
+                if subquery.scalar:
+                    probe_results[subquery.query] = reply
+                elif reply is not None:
+                    view.store_fragment(reply)
+        else:
+            raise GatherError(
+                f"gathering {pattern.source!r} did not converge within "
+                f"{self.MAX_ROUNDS} rounds"
+            )
+        self.stats["queries"] += 1
+        self.stats["rounds"] += rounds
+        self.stats["subqueries_sent"] += len(sent)
+        if not sent:
+            self.stats["local_hits"] += 1
+        return GatherOutcome(pattern, result.answer, rounds, sent, view)
+
+    # ------------------------------------------------------------------
+    def answer_user_query(self, query, now=None):
+        """Answer a user query: gather, then extract clean result subtrees.
+
+        Returns ``(results, outcome)`` where *results* is a list of
+        detached, system-attribute-free elements (the XPath answer).
+        """
+        outcome = self.gather(query, now=now)
+        if now is None:
+            now = self.database.clock()
+        matches = _EVALUATOR.evaluate(outcome.pattern.extraction_ast,
+                                      outcome.view.root, now=now)
+        results = []
+        for match in matches if isinstance(matches, list) else []:
+            if isinstance(match, Text):
+                results.append(Text(match.value))
+                continue
+            if not isinstance(match, Element):
+                continue
+            anchor = lowest_idable_ancestor_or_self(match)
+            if not get_status(anchor).has_local_information:
+                continue  # an ID stub, not real data
+            if anchor is match and not _subtree_materialized(match):
+                continue  # partially gathered artifact
+            results.append(strip_internal_attributes(match.copy()))
+        return results, outcome
+
+    def answer_subquery(self, query, now=None):
+        """Answer a subquery from a peer site: the generalized wire fragment."""
+        outcome = self.gather(query, now=now)
+        return outcome.wire_answer
+
+    def answer_scalar(self, query, now=None, max_age=None, precision=None):
+        """Answer a scalar query: a supported wrapper around an inner path.
+
+        Supports ``boolean(p)``, ``count(p)``, ``sum(p)``, ``string(p)``
+        and ``number(p)`` where ``p`` is an absolute location path:
+        the inner path is gathered distributedly and the wrapper is
+        evaluated over the assembled data.
+
+        *max_age* (seconds) or *precision* (fraction, needs the
+        aggregate cache's drift rate) opt into the paper's "acceptable
+        precision" extension: a recent enough cached value of the same
+        aggregate is returned without touching the network (Section 4).
+        """
+        query_key = query if isinstance(query, str) else query.unparse()
+        if max_age is not None or precision is not None:
+            cached = self.aggregates.lookup(query_key, max_age=max_age,
+                                            precision=precision)
+            if cached is not None:
+                return cached.value
+        ast = xpath_parser.parse(query) if isinstance(query, str) else query
+        if not (
+            isinstance(ast, FunctionCall)
+            and ast.name in SCALAR_WRAPPERS
+            and len(ast.arguments) == 1
+            and isinstance(ast.arguments[0], LocationPath)
+            and ast.arguments[0].absolute
+        ):
+            raise CoreError(
+                f"unsupported scalar query {query!r}: expected "
+                f"{'/'.join(SCALAR_WRAPPERS)} around an absolute path"
+            )
+        # Probes must be resolved by materializing data, never by
+        # re-probing (the answering site may own the probe's anchor,
+        # which would loop): force the fetch-subtree strategy here.
+        outcome = self.gather(ast.arguments[0], now=now,
+                              nesting_strategy=FETCH_SUBTREE)
+        if now is None:
+            now = self.database.clock()
+        value = _EVALUATOR.evaluate(ast, outcome.view.root, now=now)
+        self.aggregates.store(query_key, value)
+        return value
+
+    def answer_any(self, query, now=None):
+        """Dispatch a query string to subquery/scalar handling.
+
+        Used by the network layer when a message arrives from a peer.
+        """
+        ast = xpath_parser.parse(query)
+        if isinstance(ast, LocationPath):
+            return self.answer_subquery(ast, now=now)
+        return self.answer_scalar(ast, now=now)

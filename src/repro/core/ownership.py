@@ -1,0 +1,56 @@
+"""Ownership migration of IDable nodes between sites (Section 4).
+
+The paper's four-step protocol, made atomic by the final DNS update:
+
+1. the site taking ownership fetches a copy of the node's local
+   information from the current owner;
+2. sensor proxies reporting to the old owner are redirected;
+3. the new owner sets the node's status to ``owned`` while the old
+   owner demotes its copy to ``complete``;
+4. the DNS entry for the node is updated to the new owner.
+
+Until step 4 the rest of the system keeps routing queries to the old
+owner, which simply holds them during the hand-off and can forward
+stragglers that arrive via stale DNS caches afterwards.
+
+This module supplies the database-level pieces; the network layer
+(:mod:`repro.net.oa`) sequences them and performs the DNS update.
+"""
+
+from repro.core.answer import AnswerBuilder
+from repro.core.errors import CoreError
+from repro.core.idable import format_id_path
+from repro.core.status import Status, get_status
+
+
+def export_local_information(database, id_path):
+    """Step 1, owner side: the wire fragment handing over *id_path*.
+
+    Contains the node's local information plus the local ID information
+    of its ancestors, so the receiver can merge it like any cached
+    answer (C1/C2 hold) before flipping the status to ``owned``.
+    """
+    element = database.find(id_path, required=True)
+    if get_status(element) is not Status.OWNED:
+        raise CoreError(
+            f"cannot delegate {format_id_path(id_path)}: not owned at "
+            f"site {database.site_id!r}"
+        )
+    builder = AnswerBuilder(database)
+    builder.include_local_information(element)
+    return builder.build()
+
+
+def accept_ownership(database, id_path, fragment):
+    """Steps 1+3, new-owner side: merge the fragment and mark owned."""
+    database.store_fragment(fragment)
+    return database.mark_owned(id_path)
+
+
+def relinquish_ownership(database, id_path):
+    """Step 3, old-owner side: demote the local copy to ``complete``.
+
+    The old owner keeps the (now cached) data, which lets it answer
+    stale-DNS stragglers or serve as a warm replica.
+    """
+    return database.release_ownership(id_path)

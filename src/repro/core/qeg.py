@@ -1,0 +1,752 @@
+"""Query-Evaluate-Gather (QEG), the paper's core algorithm (Section 3.5).
+
+Given an XPATH query and a site's document fragment, QEG determines
+
+1. which data in the local fragment is part of the query result, and
+2. how to gather the missing parts,
+
+in a single pass over the fragment, driven entirely by the per-node
+``status`` tags.  The output is a generalized, cacheable answer
+fragment (see :mod:`repro.core.answer`) plus a list of
+:class:`~repro.core.answer.Subquery` records describing exactly which
+remote IDable nodes must be contacted -- the paper's ``asksubquery``
+placeholders.
+
+The walker treats the query's main path as a pattern of child steps
+with optional ``//`` gaps and simulates it NFA-style: each stored node
+carries the set of pattern positions it has matched, so a node can
+simultaneously be an intermediate match and sit inside a ``//`` scan.
+
+Per-node behaviour matches the four status cases of Section 3.5:
+
+``incomplete``
+    evaluate the id-only predicates P_id if separable; on success the
+    rest of the query becomes a subquery (we cannot even enumerate the
+    node's children);
+``id-complete``
+    P_id can be checked and recursion can continue through IDable
+    children; a subquery is needed when the node's local information is
+    required (result region, non-id predicates, or non-IDable content);
+``owned``
+    everything is evaluated locally; consistency predicates are ignored
+    because the owner is freshest;
+``complete``
+    like owned, but consistency predicates are honoured and a stale
+    copy turns into a subquery to the owner.
+
+Nesting depth > 0 (Section 4) is handled by either of two strategies:
+
+``fetch-subtree`` (the paper's implemented approach)
+    stop at the earliest tag referenced by a nested predicate, fetch
+    the whole subtree below it, then evaluate the remainder locally;
+``boolean-probe`` (the paper's proposed future approach)
+    fire ``boolean(...)`` probes that evaluate nested predicates
+    remotely, avoiding the bulk fetch.
+"""
+
+from repro.core.answer import AnswerBuilder, Subquery
+from repro.core.consistency import (
+    rewrite_consistency_sugar,
+    strip_consistency_predicates,
+)
+from repro.core.errors import UnsupportedDistributedQueryError
+from repro.core.idable import (
+    id_path_of,
+    idable_children,
+    lowest_idable_ancestor_or_self,
+)
+from repro.core.status import Status, get_status
+from repro.core.subquery import (
+    render_boolean_probe,
+    render_id_path_query,
+    render_residual_query,
+)
+from repro.xmlkit.nodes import Element, Text
+from repro.xpath import parser as xpath_parser
+from repro.xpath.analysis import (
+    REF_ID,
+    classify_predicate,
+    split_predicates,
+)
+from repro.xpath.ast import (
+    BinaryOperation,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    Step,
+    iter_location_paths,
+)
+from repro.xpath.errors import XPathError
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.types import to_boolean
+
+FETCH_SUBTREE = "fetch-subtree"
+BOOLEAN_PROBE = "boolean-probe"
+
+#: Generalization levels for subqueries (Section 3.3).  "answer" fetches
+#: the smallest cacheable superset of the answer; "aggressive" drops
+#: non-id predicates from residual items so whole sibling sets are
+#: fetched and later predicate queries hit the cache.
+GENERALIZE_ANSWER = "answer"
+GENERALIZE_AGGRESSIVE = "aggressive"
+
+_EVALUATOR = Evaluator()
+
+
+def _iter_conjuncts(expression):
+    if isinstance(expression, BinaryOperation) and expression.operator == "and":
+        yield from _iter_conjuncts(expression.left)
+        yield from _iter_conjuncts(expression.right)
+    else:
+        yield expression
+
+
+def _path_is_nested(path, is_idable_tag):
+    """Whether a location path inside a predicate crosses IDable nodes."""
+    if path.absolute:
+        return True
+    for step in path.steps:
+        if step.axis == "attribute":
+            continue
+        if step.axis in ("parent", "ancestor", "ancestor-or-self"):
+            return True
+        if isinstance(step.node_test, NameTest):
+            if step.node_test.name == "*" or is_idable_tag(step.node_test.name):
+                return True
+        elif step.node_test.node_type == "node" and \
+                step.axis in ("descendant", "descendant-or-self"):
+            return True
+    return False
+
+
+def _predicate_is_nested(predicate, is_idable_tag):
+    return any(
+        _path_is_nested(path, is_idable_tag)
+        for path in iter_location_paths(predicate)
+    )
+
+
+def _max_upward_levels(predicate):
+    deepest = 0
+    for path in iter_location_paths(predicate):
+        if path.absolute:
+            return 999
+        levels = 0
+        for step in path.steps:
+            if step.axis == "parent":
+                levels += 1
+            elif step.axis in ("ancestor", "ancestor-or-self"):
+                levels = 999
+                break
+            else:
+                break
+        deepest = max(deepest, levels)
+    return deepest
+
+
+class PatternItem:
+    """One named child step of the query's main path."""
+
+    __slots__ = ("step", "descendant", "plain_predicates", "nested_predicates",
+                 "split", "residual_predicates")
+
+    def __init__(self, step, descendant, is_idable_tag):
+        self.step = step
+        self.descendant = descendant
+        self.nested_predicates = [
+            p for p in step.predicates if _predicate_is_nested(p, is_idable_tag)
+        ]
+        self.plain_predicates = [
+            p for p in step.predicates
+            if not _predicate_is_nested(p, is_idable_tag)
+        ]
+        self.split = split_predicates(self.plain_predicates)
+        # Predicates to re-attach when the step turns into a subquery:
+        # everything except pure id pins (the id is pinned by the path).
+        residual = []
+        for predicate in step.predicates:
+            conjuncts = [
+                c for c in _iter_conjuncts(predicate)
+                if classify_predicate(c) != frozenset({REF_ID})
+            ]
+            if len(conjuncts) == len(list(_iter_conjuncts(predicate))):
+                residual.append(predicate)
+            else:
+                for conjunct in conjuncts:
+                    residual.append(conjunct)
+        self.residual_predicates = residual
+
+    @property
+    def has_nested(self):
+        return bool(self.nested_predicates)
+
+    @property
+    def generalized_predicates(self):
+        """Predicates kept when the item appears in an aggressive
+        (superset-fetching) subquery: id pins and freshness bounds."""
+        if not self.split.separable:
+            return list(self.step.predicates)
+        return list(self.split.id_predicates) + \
+            list(self.split.consistency_predicates)
+
+    def test_matches(self, node):
+        test = self.step.node_test
+        if isinstance(node, Text):
+            return isinstance(test, NodeTypeTest) and \
+                test.node_type in ("text", "node")
+        if isinstance(test, NameTest):
+            return test.matches(node.tag)
+        return test.node_type == "node"
+
+    def unparse(self):
+        return self.step.unparse()
+
+
+class CompiledPattern:
+    """A query compiled for distributed (QEG) evaluation."""
+
+    def __init__(self, source, ast, items, extraction_ast, collect_index,
+                 is_idable_tag):
+        self.source = source
+        self.ast = ast
+        self.items = items
+        self.extraction_ast = extraction_ast
+        self.collect_index = collect_index
+        self.is_idable_tag = is_idable_tag
+
+    @property
+    def has_nesting(self):
+        return self.collect_index is not None
+
+    def __repr__(self):
+        return f"CompiledPattern({self.source!r})"
+
+
+def compile_pattern(query, schema=None, rewrite_sugar=True):
+    """Compile *query* (a string or AST) for distributed evaluation.
+
+    *schema* (a :class:`~repro.core.schema.HierarchySchema`) sharpens
+    the IDable-tag knowledge used by the nesting analysis; without it,
+    every element name is conservatively treated as IDable.
+    """
+    if isinstance(query, str):
+        source = query
+        ast = xpath_parser.parse(query)
+    else:
+        ast = query
+        source = ast.unparse()
+    if rewrite_sugar:
+        ast = rewrite_consistency_sugar(ast)
+    if not isinstance(ast, LocationPath) or not ast.absolute:
+        raise UnsupportedDistributedQueryError(
+            "distributed queries must be absolute location paths; wrap "
+            "scalar expressions in boolean()/count() at the agent level"
+        )
+    if schema is not None:
+        is_idable_tag = schema.is_idable_tag
+    else:
+        is_idable_tag = lambda tag: True  # noqa: E731 - conservative default
+
+    items = []
+    pending_descendant = False
+    for step in ast.steps:
+        if (
+            step.axis == "descendant-or-self"
+            and isinstance(step.node_test, NodeTypeTest)
+            and step.node_test.node_type == "node"
+        ):
+            if step.predicates:
+                raise UnsupportedDistributedQueryError(
+                    "predicates on a bare // step are not supported in "
+                    "distributed queries"
+                )
+            pending_descendant = True
+            continue
+        if step.axis == "self" and isinstance(step.node_test, NodeTypeTest) \
+                and step.node_test.node_type == "node" and not step.predicates:
+            continue
+        if step.axis != "child":
+            raise UnsupportedDistributedQueryError(
+                f"axis {step.axis!r} is not supported on the main path of a "
+                "distributed query (it is supported inside predicates)"
+            )
+        items.append(PatternItem(step, pending_descendant, is_idable_tag))
+        pending_descendant = False
+    if pending_descendant:
+        raise UnsupportedDistributedQueryError(
+            "a distributed query cannot end with //"
+        )
+
+    collect_index = None
+    for index, item in enumerate(items):
+        if item.has_nested:
+            up = max(_max_upward_levels(p) for p in item.nested_predicates)
+            target = max(0, index - up)
+            if collect_index is None or target < collect_index:
+                collect_index = target
+
+    extraction_ast = strip_consistency_predicates(ast)
+    return CompiledPattern(source, ast, items, extraction_ast, collect_index,
+                           is_idable_tag)
+
+
+class QEGResult:
+    """Output of one QEG pass over a site database."""
+
+    def __init__(self, answer, subqueries, stats):
+        self.answer = answer
+        self.subqueries = subqueries
+        self.stats = stats
+
+    @property
+    def is_complete(self):
+        """True when nothing remote is needed."""
+        return not self.subqueries
+
+    def __repr__(self):
+        return (
+            f"QEGResult(answer={'yes' if self.answer is not None else 'no'}, "
+            f"subqueries={len(self.subqueries)})"
+        )
+
+
+# Match outcomes.
+_MATCH = "match"
+_NO = "no"
+_ASK = "ask"
+
+
+class _Walker:
+    def __init__(self, db, pattern, now, probe_results, nesting_strategy,
+                 generalization=GENERALIZE_ANSWER):
+        self.db = db
+        self.pattern = pattern
+        self.items = pattern.items
+        self.now = now
+        self.probe_results = probe_results or {}
+        self.nesting_strategy = nesting_strategy
+        self.aggressive = generalization == GENERALIZE_AGGRESSIVE
+        self.builder = AnswerBuilder(db)
+        self.subqueries = []
+        self._seen_subqueries = set()
+        self.stats = {
+            "nodes_visited": 0,
+            "results_local": 0,
+            "asks": 0,
+            "prunes": 0,
+            "probes_used": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def ask(self, subquery):
+        if (subquery.query, subquery.scalar) not in self._seen_subqueries:
+            self._seen_subqueries.add((subquery.query, subquery.scalar))
+            self.subqueries.append(subquery)
+            self.stats["asks"] += 1
+
+    def evaluate(self, predicates, node):
+        try:
+            return all(
+                to_boolean(_EVALUATOR.evaluate(p, node, now=self.now))
+                for p in predicates
+            )
+        except XPathError:
+            # A predicate that cannot be evaluated on partial data is
+            # treated as unsatisfied locally; the conservative paths
+            # (ASK) have already been taken for nodes lacking data.
+            return False
+
+    # ------------------------------------------------------------------
+    def run(self):
+        root = self.db.root
+        n_items = len(self.items)
+        if n_items == 0:
+            self._include_result(root)
+            return self._finish()
+
+        root_states = set()
+        first = self.items[0]
+        if first.descendant:
+            root_states.add(0)
+        if first.test_matches(root):
+            outcome = self._match_item(root, 0)
+            if outcome == _MATCH:
+                root_states.add(1)
+        if root_states:
+            self._process(root, root_states)
+        return self._finish()
+
+    def _finish(self):
+        return QEGResult(self.builder.build(), self.subqueries, self.stats)
+
+    # ------------------------------------------------------------------
+    def _process(self, element, states):
+        """Continue matching below *element*, which holds *states* threads."""
+        self.stats["nodes_visited"] += 1
+        n_items = len(self.items)
+
+        if n_items in states:
+            self._include_result(element)
+            states = {j for j in states if j < n_items}
+            if not states:
+                return
+
+        # Collect-point handling for nesting depth > 0.
+        if (
+            self.nesting_strategy == FETCH_SUBTREE
+            and self.pattern.collect_index is not None
+            and (self.pattern.collect_index + 1) in states
+        ):
+            self._collect_and_evaluate(element)
+            states = {
+                j for j in states if j != self.pattern.collect_index + 1
+            }
+            if not states:
+                return
+
+        if isinstance(element, Text):
+            return
+
+        status = get_status(element) if _locally_idable(element) else None
+        if status is Status.ID_COMPLETE:
+            states = self._filter_states_for_id_complete(element, states)
+            if not states:
+                return
+
+        for child in element.children:
+            child_states = set()
+            for j in sorted(states):
+                if j >= n_items:
+                    continue
+                item = self.items[j]
+                if item.descendant:
+                    self._handle_descendant_scan(child, j, child_states)
+                if item.test_matches(child):
+                    outcome = self._match_item(child, j)
+                    if outcome == _MATCH:
+                        child_states.add(j + 1)
+                        if j + 1 < n_items:
+                            self._include_pass_through(child, item)
+                    elif outcome == _NO:
+                        self.stats["prunes"] += 1
+            if child_states:
+                self._process(child, child_states)
+
+    def _include_pass_through(self, child, item):
+        """Ship a matched intermediate node's information.
+
+        At minimum the local ID information travels: that is what lets
+        the asker cache *negative* knowledge ("this node has no further
+        children of interest") and enables the subsumption effect of
+        Section 3.3.
+
+        When the item carried non-id predicates, the node's full local
+        information travels instead -- the receiver re-derives the final
+        answer by re-evaluating the query, so every attribute and value
+        field a predicate touched is part of the smallest correct
+        superset (Section 2's numberOfFreeSpots example).  Aggressive
+        generalization always ships local information.
+        """
+        if isinstance(child, Text) or not _locally_idable(child):
+            return
+        status = get_status(child)
+        predicates_touch_content = (
+            not item.split.separable
+            or item.split.rest_predicates
+            or item.split.consistency_predicates
+            or item.nested_predicates
+        )
+        if status.has_local_information and                 (self.aggressive or predicates_touch_content):
+            self.builder.include_local_information(child)
+        elif status.has_id_information:
+            self.builder.include_id_information(child)
+
+    def _handle_descendant_scan(self, child, j, child_states):
+        """A // scan passes through *child*: keep the thread alive.
+
+        If *child* is an ID-only stub, its subtree may hide matches the
+        site cannot see, so the scan becomes a subquery.
+        """
+        if isinstance(child, Text):
+            return
+        if _locally_idable(child) and \
+                get_status(child) is Status.INCOMPLETE:
+            anchor_path = id_path_of(child)
+            self.ask(Subquery(
+                render_residual_query(anchor_path, [], self.items[j:],
+                                      descendant_gap=True,
+                                      aggressive=self.aggressive),
+                anchor_path,
+                Subquery.INCOMPLETE,
+                consumed=j,
+                descendant_gap=True,
+            ))
+            return
+        child_states.add(j)
+
+    def _filter_states_for_id_complete(self, element, states):
+        """At an id-complete node, threads needing local content must ask.
+
+        The node's non-IDable children are not stored, so any next item
+        that could match non-IDable content turns into a subquery; next
+        items naming IDable tags continue through the child ID stubs.
+        """
+        keep = set()
+        stub_tags = {child.tag for child in idable_children(element)}
+        for j in states:
+            if j >= len(self.items):
+                keep.add(j)
+                continue
+            item = self.items[j]
+            test = item.step.node_test
+            needs_content = True
+            if isinstance(test, NameTest) and test.name != "*":
+                if test.name in stub_tags or \
+                        self.pattern.is_idable_tag(test.name):
+                    needs_content = False
+            if needs_content:
+                anchor_path = id_path_of(element)
+                self.ask(Subquery(
+                    render_residual_query(anchor_path, [], self.items[j:],
+                                          aggressive=self.aggressive),
+                    anchor_path,
+                    Subquery.ID_COMPLETE,
+                    consumed=j,
+                ))
+            else:
+                keep.add(j)
+        return keep
+
+    # ------------------------------------------------------------------
+    def _match_item(self, node, j):
+        """Decide whether *node* satisfies item *j* (the four status cases)."""
+        item = self.items[j]
+        if isinstance(node, Text):
+            return _MATCH if not item.step.predicates else (
+                _MATCH if self.evaluate(item.step.predicates, node) else _NO
+            )
+
+        in_fetch_mode = (
+            self.nesting_strategy == FETCH_SUBTREE
+            and self.pattern.collect_index is not None
+        )
+        if item.has_nested and not in_fetch_mode:
+            verdict = self._resolve_nested(node, item, j)
+            if verdict == "pending":
+                return _ASK  # probes emitted; retried next round
+            if not verdict:
+                return _NO
+        split = item.split
+        is_result_item = (j + 1) == len(self.items)
+
+        if not _locally_idable(node):
+            # Non-IDable content: physically present, so everything is
+            # evaluable; consistency follows the enclosing IDable node.
+            effective = self.db.effective_status(node)
+            checks = split.id_predicates + split.rest_predicates
+            if not self.evaluate(checks, node):
+                return _NO
+            if effective is Status.COMPLETE and split.consistency_predicates \
+                    and not self.evaluate(split.consistency_predicates, node):
+                return self._ask_stale_non_idable(node, j)
+            return _MATCH
+
+        status = get_status(node)
+
+        if status is Status.OWNED:
+            checks = split.id_predicates + split.rest_predicates
+            return _MATCH if self.evaluate(checks, node) else _NO
+
+        if status is Status.COMPLETE:
+            if not split.separable:
+                return self._ask_residual(node, item, j,
+                                          Subquery.UNSEPARABLE)
+            if not self.evaluate(split.id_predicates + split.rest_predicates,
+                                 node):
+                return _NO
+            if split.consistency_predicates and \
+                    not self.evaluate(split.consistency_predicates, node):
+                return self._ask_residual(node, item, j, Subquery.STALE)
+            return _MATCH
+
+        if status is Status.ID_COMPLETE:
+            if not split.separable:
+                return self._ask_residual(node, item, j, Subquery.UNSEPARABLE)
+            if not self.evaluate(split.id_predicates, node):
+                return _NO
+            if split.rest_predicates or split.consistency_predicates or \
+                    is_result_item:
+                return self._ask_residual(node, item, j, Subquery.ID_COMPLETE)
+            return _MATCH
+
+        # status INCOMPLETE: only the ID is known.
+        if not split.separable:
+            return self._ask_residual(node, item, j, Subquery.UNSEPARABLE)
+        if not self.evaluate(split.id_predicates, node):
+            return _NO
+        return self._ask_residual(node, item, j, Subquery.INCOMPLETE)
+
+    def _ask_residual(self, node, item, j, reason):
+        anchor_path = id_path_of(node)
+        if self.aggressive and item.split.separable:
+            extra = list(item.split.consistency_predicates)
+        else:
+            extra = item.residual_predicates
+        self.ask(Subquery(
+            render_residual_query(anchor_path, extra, self.items[j + 1:],
+                                  aggressive=self.aggressive),
+            anchor_path,
+            reason,
+            consumed=j + 1,
+        ))
+        return _ASK
+
+    def _ask_stale_non_idable(self, node, j):
+        anchor = lowest_idable_ancestor_or_self(node)
+        anchor_path = id_path_of(anchor)
+        self.ask(Subquery(
+            render_residual_query(anchor_path, [], self.items[j:],
+                                  descendant_gap=True,
+                                  aggressive=self.aggressive),
+            anchor_path,
+            Subquery.STALE,
+            consumed=j,
+            descendant_gap=True,
+        ))
+        return _ASK
+
+    # ------------------------------------------------------------------
+    # Nesting depth > 0
+    # ------------------------------------------------------------------
+    def _subtree_fully_local(self, element):
+        stack = [element]
+        while stack:
+            node = stack.pop()
+            if not get_status(node).has_local_information:
+                return False
+            stack.extend(idable_children(node))
+        return True
+
+    def _collect_and_evaluate(self, element):
+        """Fetch-subtree strategy at the collect point (Section 4)."""
+        if not self._subtree_fully_local(element):
+            anchor_path = id_path_of(element)
+            self.ask(Subquery(render_id_path_query(anchor_path), anchor_path,
+                              Subquery.NESTED_FETCH, subtree=True))
+            return
+        # All data below is local: evaluate the rest of the query with
+        # the plain evaluator, relative to this node.
+        k = self.pattern.collect_index
+        residual_steps = []
+        item_k = self.items[k]
+        if item_k.nested_predicates:
+            residual_steps.append(
+                Step("self", NodeTypeTest("node"),
+                     list(item_k.nested_predicates))
+            )
+        for item in self.items[k + 1:]:
+            if item.descendant:
+                residual_steps.append(Step("descendant-or-self",
+                                           NodeTypeTest("node")))
+            residual_steps.append(Step("child", item.step.node_test,
+                                       list(item.step.predicates)))
+        residual = LocationPath(absolute=False, steps=residual_steps)
+        try:
+            matches = _EVALUATOR.evaluate(residual, element, now=self.now)
+        except XPathError:
+            matches = []
+        for match in matches if isinstance(matches, list) else []:
+            if isinstance(match, Text):
+                match = match.parent
+            if isinstance(match, Element):
+                self._include_result(match)
+                self.stats["results_local"] += 1
+
+    def _resolve_nested(self, node, item, j):
+        """Boolean-probe strategy: resolve nested predicates at *node*.
+
+        Returns ``True`` when all nested predicates are known to hold
+        (locally or via probe answers), ``False`` when one is known to
+        fail, and ``"pending"`` after emitting probes whose answers are
+        not yet available.
+        """
+        if not _locally_idable(node):
+            return self.evaluate(item.nested_predicates, node)
+        if self._subtree_fully_local(node):
+            return self.evaluate(item.nested_predicates, node)
+        anchor_path = id_path_of(node)
+        all_known = True
+        verdict = True
+        for predicate in item.nested_predicates:
+            probe = render_boolean_probe(anchor_path, predicate)
+            if probe in self.probe_results:
+                self.stats["probes_used"] += 1
+                verdict = verdict and bool(self.probe_results[probe])
+            else:
+                self.ask(Subquery(probe, anchor_path, Subquery.NESTED_PROBE,
+                                  scalar=True))
+                all_known = False
+        if not all_known:
+            return "pending"
+        # When the verdict is negative the node is pruned; otherwise the
+        # walk continues and deeper match attempts ask for any data that
+        # is still missing.
+        return verdict
+
+    # ------------------------------------------------------------------
+    def _include_result(self, element):
+        if isinstance(element, Text):
+            element = element.parent
+        anchor = lowest_idable_ancestor_or_self(element)
+        self.builder.include_ancestors(anchor)
+        if anchor is element:
+            self.builder.include_subtree(
+                element,
+                on_missing=self._ask_missing_subtree,
+            )
+        else:
+            # Generalized answer: the smallest cacheable superset of a
+            # non-IDable result is its enclosing node's local information.
+            if get_status(anchor).has_local_information:
+                self.builder.include_local_information(anchor)
+            else:
+                self._ask_missing_subtree(anchor)
+        self.stats["results_local"] += 1
+
+    def _ask_missing_subtree(self, element):
+        anchor_path = id_path_of(element)
+        self.ask(Subquery(render_id_path_query(anchor_path), anchor_path,
+                          Subquery.MISSING_SUBTREE, subtree=True))
+
+
+def _locally_idable(element):
+    if isinstance(element, Text):
+        return False
+    if element.attrib.get("id") is None:
+        return False
+    parent = element.parent
+    if parent is None:
+        return True
+    count = sum(
+        1
+        for sibling in parent.element_children(element.tag)
+        if sibling.attrib.get("id") == element.attrib.get("id")
+    )
+    return count == 1
+
+
+def run_qeg(db, pattern, now=None, probe_results=None,
+            nesting_strategy=FETCH_SUBTREE,
+            generalization=GENERALIZE_ANSWER):
+    """Run one QEG pass of *pattern* over the site database *db*.
+
+    *now* is the query's clock reading for consistency predicates;
+    *probe_results* maps probe query strings to boolean answers
+    gathered in earlier rounds (boolean-probe strategy only);
+    *generalization* picks how far subqueries over-fetch for the cache.
+    """
+    if isinstance(pattern, str):
+        pattern = compile_pattern(pattern)
+    walker = _Walker(db, pattern, now, probe_results, nesting_strategy,
+                     generalization=generalization)
+    return walker.run()

@@ -1,0 +1,110 @@
+"""Per-node storage status, as defined in Section 3.2 of the paper.
+
+Every IDable node in a site database carries a ``status`` attribute
+summarizing what the site stores for it:
+
+``owned``
+    The site owns the node: it has the node's local information and at
+    least the local ID information of every ancestor (I1 + I2).
+``complete``
+    Same stored information as ``owned``, but the node is owned
+    elsewhere (i.e. this is a cached copy).
+``id-complete``
+    The site has the node's local ID information (its ID and the IDs
+    of its IDable children) but not its full local information.
+``incomplete``
+    The site has only the node's ID.
+
+Non-IDable nodes implicitly share the status of their lowest IDable
+ancestor.
+"""
+
+import enum
+
+from repro.core.errors import CoreError
+
+STATUS_ATTRIBUTE = "status"
+TIMESTAMP_ATTRIBUTE = "timestamp"
+
+#: Attributes managed by the system, stripped from user-visible answers.
+#: Timestamps are deliberately *not* internal: queries may predicate on
+#: them (query-based consistency).
+INTERNAL_ATTRIBUTES = frozenset({STATUS_ATTRIBUTE})
+
+
+class Status(enum.Enum):
+    """Storage status of an IDable node at a site."""
+
+    OWNED = "owned"
+    COMPLETE = "complete"
+    ID_COMPLETE = "id-complete"
+    INCOMPLETE = "incomplete"
+
+    @property
+    def has_local_information(self):
+        """Whether the full local information of the node is stored."""
+        return self in (Status.OWNED, Status.COMPLETE)
+
+    @property
+    def has_id_information(self):
+        """Whether at least the local ID information is stored."""
+        return self is not Status.INCOMPLETE
+
+    @property
+    def rank(self):
+        """Information ordering: owned > complete > id-complete > incomplete."""
+        return _RANKS[self]
+
+
+_RANKS = {
+    Status.OWNED: 3,
+    Status.COMPLETE: 2,
+    Status.ID_COMPLETE: 1,
+    Status.INCOMPLETE: 0,
+}
+
+
+def parse_status(value):
+    """Parse a status attribute value, raising on junk."""
+    for status in Status:
+        if status.value == value:
+            return status
+    raise CoreError(f"invalid status attribute value: {value!r}")
+
+
+def get_status(element, default=Status.INCOMPLETE):
+    """The status recorded on *element* (not climbing to ancestors)."""
+    raw = element.get(STATUS_ATTRIBUTE)
+    if raw is None:
+        return default
+    return parse_status(raw)
+
+
+def set_status(element, status):
+    """Record *status* on *element*."""
+    element.set(STATUS_ATTRIBUTE, status.value)
+
+
+def get_timestamp(element):
+    """The node's data timestamp (seconds), or ``None``."""
+    raw = element.get(TIMESTAMP_ATTRIBUTE)
+    if raw is None:
+        return None
+    return float(raw)
+
+
+def set_timestamp(element, when):
+    """Record the data timestamp on *element*."""
+    element.set(TIMESTAMP_ATTRIBUTE, repr(float(when)))
+
+
+def strip_internal_attributes(element):
+    """Remove system-managed attributes from *element*'s subtree, in place.
+
+    Returns *element* for chaining.  Used when handing answers back to
+    the user so that bookkeeping never leaks.
+    """
+    for node in element.iter():
+        for name in INTERNAL_ATTRIBUTES:
+            node.delete_attribute(name)
+    return element

@@ -1,0 +1,71 @@
+"""Distributed substrate: DNS, transport, organizing and sensing agents.
+
+The paper's deployment -- organizing agents on Internet-connected PCs,
+sensor proxies feeding them, DNS carrying the node-to-site mapping --
+rebuilt in-process with deterministic loopback delivery (and a locking
+variant for genuinely concurrent execution).
+"""
+
+from repro.net.cluster import Cluster
+from repro.net.continuous import ContinuousQueryManager, Subscription
+from repro.net.dns import DnsRecord, DnsResolver, DnsServer
+from repro.net.errors import (
+    MessageError,
+    MigrationError,
+    NameNotFound,
+    NetError,
+    UnknownSite,
+)
+from repro.net.messages import (
+    AckMessage,
+    AdoptMessage,
+    AnswerMessage,
+    Message,
+    QueryMessage,
+    UpdateMessage,
+    clean_results,
+)
+from repro.net.oa import OAConfig, OrganizingAgent
+from repro.net.runtime import (
+    ClientWorkloadResult,
+    LockingNetwork,
+    make_concurrent_cluster,
+    run_concurrent_clients,
+)
+from repro.net.sa import RandomSensorModel, SensingAgent
+from repro.net.tcpruntime import TcpCluster, TcpNetwork, TcpSiteServer
+from repro.net.transport import LoopbackNetwork, TrafficLog
+
+__all__ = [
+    "Cluster",
+    "ContinuousQueryManager",
+    "Subscription",
+    "OrganizingAgent",
+    "OAConfig",
+    "SensingAgent",
+    "RandomSensorModel",
+    "DnsServer",
+    "DnsResolver",
+    "DnsRecord",
+    "LoopbackNetwork",
+    "LockingNetwork",
+    "TcpCluster",
+    "TcpNetwork",
+    "TcpSiteServer",
+    "TrafficLog",
+    "Message",
+    "QueryMessage",
+    "AnswerMessage",
+    "UpdateMessage",
+    "AckMessage",
+    "AdoptMessage",
+    "clean_results",
+    "make_concurrent_cluster",
+    "run_concurrent_clients",
+    "ClientWorkloadResult",
+    "NetError",
+    "NameNotFound",
+    "UnknownSite",
+    "MessageError",
+    "MigrationError",
+]

@@ -1,0 +1,240 @@
+"""Cluster assembly: wire a partitioned deployment together.
+
+A :class:`Cluster` takes the global document and a
+:class:`~repro.core.partition.PartitionPlan` and produces the whole
+running system: per-site databases, organizing agents on a loopback
+network, the authoritative DNS server with one record per IDable node,
+and a client-side resolver for self-starting distributed queries.
+
+This is the object the examples and integration tests drive; the
+discrete-event simulator wraps the same pieces with a cost model.
+"""
+
+from repro.core.errors import QueryRoutingError
+from repro.core.partition import PartitionPlan
+from repro.core.schema import HierarchySchema
+from repro.net.dns import DnsResolver, DnsServer
+from repro.net.messages import QueryMessage
+from repro.net.oa import OAConfig, OrganizingAgent
+from repro.net.sa import SensingAgent
+from repro.net.transport import LoopbackNetwork
+from repro.xpath import parser as xpath_parser
+from repro.xpath.analysis import extract_id_path
+from repro.xpath.ast import FunctionCall, LocationPath
+
+
+class Cluster:
+    """A complete in-process deployment of the sensor database."""
+
+    def __init__(self, global_document, plan, service="parking",
+                 zone="intel-iris.net", oa_config=None, clock=None,
+                 count_bytes=False, schema=None):
+        if not isinstance(plan, PartitionPlan):
+            plan = PartitionPlan(plan)
+        from repro.xmlkit.nodes import Document as _Document
+
+        if isinstance(global_document, _Document):
+            global_document = global_document.root
+        self.global_document = global_document
+        self.plan = plan
+        self.clock = clock or (lambda: 0.0)
+        self.schema = schema or HierarchySchema.from_document(global_document)
+        self.network = LoopbackNetwork(count_bytes=count_bytes)
+        self.dns = DnsServer(service=service, zone=zone)
+        self.owner_map = plan.owner_map(global_document)
+        for path, site in self.owner_map.items():
+            self.dns.register_id_path(path, site)
+
+        databases = plan.build_databases(global_document,
+                                         default_clock=self.clock)
+        self.agents = {}
+        for site, database in databases.items():
+            resolver = DnsResolver(self.dns, clock=self.clock)
+            agent = OrganizingAgent(
+                site, database, self.network, resolver,
+                schema=self.schema,
+                config=oa_config or OAConfig(),
+                clock=self.clock,
+            )
+            self.network.register(site, agent)
+            self.agents[site] = agent
+
+        self.client_resolver = DnsResolver(self.dns, clock=self.clock)
+        self.sensing_agents = []
+        self.stats = {"client_queries": 0, "lca_cache_hits": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def sites(self):
+        return sorted(self.agents)
+
+    def agent(self, site):
+        return self.agents[site]
+
+    def database(self, site):
+        return self.agents[site].database
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def route_query(self, query):
+        """The LCA site a user query should be sent to (Section 3.4).
+
+        The DNS-style name is extracted from the query string itself --
+        no global information, no schema -- then resolved.
+        """
+        ast = xpath_parser.parse(query) if isinstance(query, str) else query
+        if isinstance(ast, FunctionCall) and ast.arguments and \
+                isinstance(ast.arguments[0], LocationPath):
+            ast = ast.arguments[0]
+        id_path = extract_id_path(ast)
+        while id_path:
+            name = self.dns.name_for(id_path)
+            try:
+                site, hops = self.client_resolver.resolve(name)
+            except Exception:
+                id_path = id_path[:-1]
+                continue
+            if hops == 0:
+                self.stats["lca_cache_hits"] += 1
+            return site, tuple(id_path)
+        # No usable prefix: fall back to the root's owner.
+        root_path = next(
+            (path for path in self.owner_map if len(path) == 1), None
+        )
+        if root_path is None:
+            raise QueryRoutingError("cluster has no owned nodes")
+        site, _hops = self.client_resolver.resolve(
+            self.dns.name_for(root_path)
+        )
+        return site, root_path
+
+    def query(self, query, now=None, at_site=None):
+        """Pose a user query; returns ``(results, site, outcome)``.
+
+        With ``at_site`` the query is forced to a specific site (used
+        by the micro-benchmarks that artificially route queries higher
+        up the hierarchy); otherwise it self-starts at its LCA.
+        """
+        if at_site is None:
+            at_site, _path = self.route_query(query)
+        self.stats["client_queries"] += 1
+        agent = self.agents[at_site]
+        results, outcome = agent.answer_user_query(query, now=now)
+        return results, at_site, outcome
+
+    def query_via_messages(self, query, now=None):
+        """Pose a user query through the message layer (full wire path)."""
+        site, _path = self.route_query(query)
+        message = QueryMessage(query, now=now, user=True, sender="client")
+        reply = self.network.request("client", site, message)
+        return reply.results, site
+
+    def scalar(self, query, now=None, at_site=None, max_age=None,
+               precision=None):
+        """Pose a scalar (boolean/count/sum/...) query.
+
+        *max_age*/*precision* enable the acceptable-precision extension
+        (Section 4): a fresh-enough cached aggregate short-circuits the
+        distributed gather.
+        """
+        if at_site is None:
+            at_site, _path = self.route_query(query)
+        return self.agents[at_site].driver.answer_scalar(
+            query, now=now, max_age=max_age, precision=precision)
+
+    # ------------------------------------------------------------------
+    # Sensing agents
+    # ------------------------------------------------------------------
+    def add_sensing_agent(self, agent_id, space_paths, model=None):
+        resolver = DnsResolver(self.dns, clock=self.clock)
+        agent = SensingAgent(agent_id, space_paths, self.network, resolver,
+                             model=model, clock=self.clock)
+        self.sensing_agents.append(agent)
+        return agent
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def delegate(self, id_path, new_owner):
+        """Migrate ownership of *id_path* to *new_owner* (Section 4)."""
+        id_path = tuple(tuple(entry) for entry in id_path)
+        current = self.owner_map.get(id_path)
+        if current is None:
+            raise QueryRoutingError(f"unknown node {id_path}")
+        moved = self.agents[current].delegate(id_path, new_owner, self.dns)
+        for path in moved:
+            self.owner_map[path] = new_owner
+        return moved
+
+    def subscribe(self, query, callback, fire_immediately=True):
+        """Register a continuous query at its LCA's owner (Section 7).
+
+        Returns ``(site, subscription_id)`` for use with
+        :meth:`unsubscribe`.
+        """
+        site, _path = self.route_query(query)
+        subscription_id = self.agents[site].continuous.subscribe(
+            query, callback, fire_immediately=fire_immediately)
+        return site, subscription_id
+
+    def unsubscribe(self, site, subscription_id):
+        self.agents[site].continuous.unsubscribe(subscription_id)
+
+    def add_node(self, parent_path, tag, identifier, attributes=None,
+                 values=None):
+        """Schema evolution: create an IDable node under its parent's
+        owner and register it in DNS."""
+        parent_path = tuple(tuple(entry) for entry in parent_path)
+        owner = self.owner_map.get(parent_path)
+        if owner is None:
+            raise QueryRoutingError(f"unknown parent {parent_path}")
+        element = self.agents[owner].add_node(
+            parent_path, tag, identifier, attributes=attributes,
+            values=values, dns_server=self.dns)
+        new_path = parent_path + ((tag, identifier),)
+        self.owner_map[new_path] = owner
+        return element
+
+    def remove_node(self, path):
+        """Schema evolution: delete an IDable node via its parent's owner."""
+        path = tuple(tuple(entry) for entry in path)
+        parent_owner = self.owner_map.get(path[:-1])
+        if parent_owner is None:
+            raise QueryRoutingError(f"unknown parent of {path}")
+        removed = self.agents[parent_owner].remove_node(
+            path, dns_server=self.dns)
+        for removed_path in removed:
+            self.owner_map.pop(tuple(tuple(e) for e in removed_path), None)
+        return removed
+
+    def validate(self, structural_only=False):
+        """Run invariant checks across every site.
+
+        With ``structural_only`` the site fragments are checked against
+        the invariants alone (I1/I2, status consistency) without
+        comparing content to the bootstrap document -- the right mode
+        once sensor updates have changed values.
+        """
+        from repro.core.invariants import (
+            ownership_violations,
+            structural_violations,
+            validate_deployment,
+        )
+        from repro.xmlkit.nodes import Document
+
+        databases = {site: a.database for site, a in self.agents.items()}
+        if structural_only:
+            problems = []
+            for site, db in databases.items():
+                problems.extend(
+                    f"[{site}] {p}" for p in structural_violations(db))
+            problems.extend(ownership_violations(databases, self.owner_map))
+            return problems
+        reference = self.global_document
+        if isinstance(reference, Document):
+            reference = reference.root
+        return validate_deployment(databases, reference, self.owner_map)
+
+    def __repr__(self):
+        return f"Cluster(sites={self.sites})"

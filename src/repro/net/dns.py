@@ -1,0 +1,123 @@
+"""A DNS-style hierarchical name service (Section 3.4).
+
+The paper maps every IDable node to a DNS name built from the IDs on
+its root path (``pittsburgh.allegheny.pa.ne.parking.intel-iris.net``)
+and stores the node-to-site mapping *only* in DNS -- never in site
+databases -- so remapping a node is a single record update.
+
+:class:`DnsServer` is the authoritative store; each client or site
+resolves through its own :class:`DnsResolver`, which caches entries
+with a TTL.  A first lookup costs several "hops" (modelling the
+recursive walk to the authoritative server); subsequent lookups are
+served from the nearby cache, exactly the behaviour the paper's
+self-starting queries rely on.
+"""
+
+from repro.net.errors import NameNotFound
+from repro.xpath.analysis import dns_name_for_id_path
+
+
+class DnsRecord:
+    """One name-to-site binding."""
+
+    __slots__ = ("name", "site", "version")
+
+    def __init__(self, name, site, version=0):
+        self.name = name
+        self.site = site
+        self.version = version
+
+    def __repr__(self):
+        return f"DnsRecord({self.name!r} -> {self.site!r} v{self.version})"
+
+
+class DnsServer:
+    """The authoritative name server for one service zone."""
+
+    def __init__(self, service="parking", zone="intel-iris.net"):
+        self.service = service
+        self.zone = zone
+        self._records = {}
+        self.stats = {"lookups": 0, "updates": 0, "registrations": 0}
+
+    def name_for(self, id_path):
+        """The DNS name of the IDable node at *id_path*."""
+        return dns_name_for_id_path(id_path, service=self.service,
+                                    zone=self.zone)
+
+    # ------------------------------------------------------------------
+    def register(self, name, site):
+        """Create or replace the record for *name*."""
+        record = self._records.get(name)
+        if record is None:
+            self._records[name] = DnsRecord(name, site)
+        else:
+            record.site = site
+            record.version += 1
+        self.stats["registrations"] += 1
+
+    def register_id_path(self, id_path, site):
+        self.register(self.name_for(id_path), site)
+
+    def update(self, name, site):
+        """Re-point an existing record (ownership migration, step 4)."""
+        record = self._records.get(name)
+        if record is None:
+            raise NameNotFound(f"no DNS record for {name!r}")
+        record.site = site
+        record.version += 1
+        self.stats["updates"] += 1
+
+    def remove(self, name):
+        self._records.pop(name, None)
+
+    def lookup(self, name):
+        """Authoritative lookup; raises :class:`NameNotFound`."""
+        self.stats["lookups"] += 1
+        record = self._records.get(name)
+        if record is None:
+            raise NameNotFound(f"no DNS record for {name!r}")
+        return record
+
+    def known_names(self):
+        return sorted(self._records)
+
+    def __len__(self):
+        return len(self._records)
+
+
+class DnsResolver:
+    """A caching resolver, one per client or site.
+
+    ``resolve`` returns ``(site, hops)``: *hops* is 0 on a cache hit
+    and ``miss_hops`` on a miss, feeding the simulator's latency model.
+    """
+
+    def __init__(self, server, clock=None, ttl=60.0, miss_hops=3):
+        self.server = server
+        self.clock = clock or (lambda: 0.0)
+        self.ttl = ttl
+        self.miss_hops = miss_hops
+        self._cache = {}  # name -> (site, expires_at)
+        self.stats = {"hits": 0, "misses": 0}
+
+    def resolve(self, name):
+        now = self.clock()
+        cached = self._cache.get(name)
+        if cached is not None and cached[1] > now:
+            self.stats["hits"] += 1
+            return cached[0], 0
+        record = self.server.lookup(name)
+        self._cache[name] = (record.site, now + self.ttl)
+        self.stats["misses"] += 1
+        return record.site, self.miss_hops
+
+    def resolve_id_path(self, id_path):
+        return self.resolve(self.server.name_for(id_path))
+
+    def invalidate(self, name=None):
+        """Drop one cached entry, or the whole cache."""
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)

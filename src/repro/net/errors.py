@@ -1,0 +1,21 @@
+"""Exception hierarchy for the network substrate."""
+
+
+class NetError(Exception):
+    """Base class for all errors raised by :mod:`repro.net`."""
+
+
+class NameNotFound(NetError):
+    """Raised when a DNS name has no record."""
+
+
+class UnknownSite(NetError):
+    """Raised when a message addresses a site that does not exist."""
+
+
+class MessageError(NetError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+class MigrationError(NetError):
+    """Raised when an ownership migration cannot be carried out."""

@@ -1,0 +1,338 @@
+"""Wire messages exchanged between agents.
+
+Messages encode to self-describing XML envelopes (parsed by our own
+:mod:`repro.xmlkit`), so the same message types drive the synchronous
+loopback network, the threaded live runtime and the byte accounting in
+the simulator's communication cost model.
+"""
+
+import itertools
+
+from repro.core.status import strip_internal_attributes
+from repro.net.errors import MessageError
+from repro.xmlkit.nodes import Element, Text
+from repro.xmlkit.parser import parse_fragment
+from repro.xmlkit.serializer import serialize
+
+_SEQUENCE = itertools.count(1)
+
+
+def _next_id():
+    return next(_SEQUENCE)
+
+
+def _encode_id_path(id_path):
+    holder = Element("path")
+    for tag, identifier in id_path:
+        entry = Element("entry", attrib={"tag": tag})
+        if identifier is not None:
+            entry.set("id", identifier)
+        holder.append(entry)
+    return holder
+
+
+def _decode_id_path(holder):
+    return tuple(
+        (entry.get("tag"), entry.get("id"))
+        for entry in holder.element_children("entry")
+    )
+
+
+class Message:
+    """Base class: kind dispatch plus XML envelope encoding."""
+
+    kind = "message"
+
+    def __init__(self, sender=None, message_id=None):
+        self.sender = sender
+        self.message_id = message_id if message_id is not None else _next_id()
+
+    # -- encoding -------------------------------------------------------
+    def to_element(self):
+        envelope = Element("message", attrib={
+            "kind": self.kind,
+            "id": str(self.message_id),
+        })
+        if self.sender is not None:
+            envelope.set("sender", str(self.sender))
+        self._fill(envelope)
+        return envelope
+
+    def _fill(self, envelope):
+        raise NotImplementedError
+
+    def encode(self):
+        """The message as an XML string."""
+        return serialize(self.to_element())
+
+    def encoded_size(self):
+        """Approximate wire size in bytes."""
+        return len(self.encode())
+
+    @staticmethod
+    def decode(text):
+        """Parse an encoded message back into its typed object."""
+        envelope = parse_fragment(text)
+        kind = envelope.get("kind")
+        cls = _KINDS.get(kind)
+        if cls is None:
+            raise MessageError(f"unknown message kind {kind!r}")
+        return cls._parse(envelope)
+
+    @classmethod
+    def _parse(cls, envelope):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}(id={self.message_id})"
+
+
+class QueryMessage(Message):
+    """A user query or an inter-site subquery.
+
+    ``now`` pins the query's clock reading so consistency predicates
+    are evaluated against the asking site's notion of time; ``scalar``
+    marks boolean/aggregate probes; ``user`` distinguishes user queries
+    (answered with clean result lists) from subqueries (answered with
+    generalized wire fragments).
+    """
+
+    kind = "query"
+
+    def __init__(self, query, now=None, scalar=False, user=False,
+                 sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.query = query
+        self.now = now
+        self.scalar = scalar
+        self.user = user
+
+    def _fill(self, envelope):
+        if self.now is not None:
+            envelope.set("now", repr(float(self.now)))
+        envelope.set("scalar", "1" if self.scalar else "0")
+        envelope.set("user", "1" if self.user else "0")
+        envelope.append(Element("q", text=self.query))
+
+    @classmethod
+    def _parse(cls, envelope):
+        q = envelope.child("q")
+        now = envelope.get("now")
+        return cls(
+            query=q.text or "",
+            now=float(now) if now is not None else None,
+            scalar=envelope.get("scalar") == "1",
+            user=envelope.get("user") == "1",
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+
+class AnswerMessage(Message):
+    """The reply to a :class:`QueryMessage`.
+
+    Carries a wire fragment (subqueries), a scalar (probes/aggregates)
+    or a list of clean result elements (user queries).
+    """
+
+    kind = "answer"
+
+    def __init__(self, in_reply_to, fragment=None, scalar=None, results=None,
+                 sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = in_reply_to
+        self.fragment = fragment
+        self.scalar = scalar
+        self.results = results
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        if self.scalar is not None:
+            holder = Element("scalar",
+                             attrib={"type": type(self.scalar).__name__})
+            holder.append(Text(_scalar_to_text(self.scalar)))
+            envelope.append(holder)
+        if self.fragment is not None:
+            holder = Element("fragment")
+            holder.append(self.fragment.copy())
+            envelope.append(holder)
+        if self.results is not None:
+            holder = Element("results")
+            for result in self.results:
+                if isinstance(result, Element):
+                    holder.append(result.copy())
+                else:
+                    holder.append(Text(result.value))
+            envelope.append(holder)
+
+    @classmethod
+    def _parse(cls, envelope):
+        fragment = None
+        scalar = None
+        results = None
+        holder = envelope.child("fragment")
+        if holder is not None:
+            children = list(holder.element_children())
+            fragment = children[0].copy() if children else None
+        scalar_holder = envelope.child("scalar")
+        if scalar_holder is not None:
+            scalar = _scalar_from_text(scalar_holder.get("type"),
+                                       scalar_holder.text or "")
+        results_holder = envelope.child("results")
+        if results_holder is not None:
+            results = [child.copy() for child in
+                       results_holder.element_children()]
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            fragment=fragment,
+            scalar=scalar,
+            results=results,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+
+def _scalar_to_text(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _scalar_from_text(type_name, text):
+    if type_name == "bool":
+        return text == "true"
+    if type_name == "float":
+        return float(text)
+    if type_name == "int":
+        return int(text)
+    if type_name == "NoneType":
+        return None
+    return text
+
+
+class UpdateMessage(Message):
+    """A sensor update from an SA (or a forward from a non-owner OA)."""
+
+    kind = "update"
+
+    def __init__(self, id_path, attributes=None, values=None, sender=None,
+                 message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.id_path = tuple(tuple(entry) for entry in id_path)
+        self.attributes = dict(attributes or {})
+        self.values = dict(values or {})
+
+    def _fill(self, envelope):
+        envelope.append(_encode_id_path(self.id_path))
+        attrs = Element("attrs")
+        for name, value in self.attributes.items():
+            attrs.append(Element("a", attrib={"name": name, "value": value}))
+        envelope.append(attrs)
+        values = Element("values")
+        for tag, text in self.values.items():
+            values.append(Element("v", attrib={"name": tag}, text=str(text)))
+        envelope.append(values)
+
+    @classmethod
+    def _parse(cls, envelope):
+        attributes = {
+            a.get("name"): a.get("value")
+            for a in envelope.child("attrs").element_children("a")
+        }
+        values = {
+            v.get("name"): (v.text or "")
+            for v in envelope.child("values").element_children("v")
+        }
+        return cls(
+            id_path=_decode_id_path(envelope.child("path")),
+            attributes=attributes,
+            values=values,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+
+class AckMessage(Message):
+    """A generic acknowledgement."""
+
+    kind = "ack"
+
+    def __init__(self, in_reply_to, ok=True, detail="", sender=None,
+                 message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = in_reply_to
+        self.ok = ok
+        self.detail = detail
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        envelope.set("ok", "1" if self.ok else "0")
+        if self.detail:
+            envelope.append(Element("detail", text=self.detail))
+
+    @classmethod
+    def _parse(cls, envelope):
+        detail = envelope.child("detail")
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            ok=envelope.get("ok") == "1",
+            detail=(detail.text or "") if detail is not None else "",
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+
+class AdoptMessage(Message):
+    """Ownership migration: "take ownership of these nodes" (steps 1-3).
+
+    Carries the wire fragment exported by the old owner and the ID
+    paths of every node changing hands.
+    """
+
+    kind = "adopt"
+
+    def __init__(self, id_paths, fragment, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.id_paths = [tuple(tuple(e) for e in path) for path in id_paths]
+        self.fragment = fragment
+
+    def _fill(self, envelope):
+        paths = Element("paths")
+        for path in self.id_paths:
+            paths.append(_encode_id_path(path))
+        envelope.append(paths)
+        holder = Element("fragment")
+        holder.append(self.fragment.copy())
+        envelope.append(holder)
+
+    @classmethod
+    def _parse(cls, envelope):
+        paths = [
+            _decode_id_path(p)
+            for p in envelope.child("paths").element_children("path")
+        ]
+        children = list(envelope.child("fragment").element_children())
+        return cls(
+            id_paths=paths,
+            fragment=children[0].copy() if children else None,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+
+def clean_results(results):
+    """Strip system attributes from a result list (defensive copy)."""
+    cleaned = []
+    for result in results:
+        if isinstance(result, Element):
+            cleaned.append(strip_internal_attributes(result.copy()))
+        else:
+            cleaned.append(result)
+    return cleaned
+
+
+_KINDS = {
+    cls.kind: cls
+    for cls in (QueryMessage, AnswerMessage, UpdateMessage, AckMessage,
+                AdoptMessage)
+}

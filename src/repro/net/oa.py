@@ -1,0 +1,290 @@
+"""The organizing agent (OA): the per-site query/update/cache processor.
+
+Each site runs one OA.  It owns part of the document, caches what
+passes through it (aggressive query-driven caching, Section 3.3),
+answers user queries and subqueries via the gather driver, applies or
+forwards sensor updates, and takes part in ownership migrations.
+"""
+
+from repro.core.errors import CoreError
+from repro.core.gather import GatherDriver
+from repro.core.idable import id_path_of, idable_children
+from repro.core.ownership import (
+    export_local_information,
+    relinquish_ownership,
+)
+from repro.core.evolution import add_idable_child, remove_idable_child
+from repro.core.qeg import FETCH_SUBTREE, GENERALIZE_ANSWER
+from repro.core.status import Status, get_status
+from repro.net.continuous import ContinuousQueryManager
+from repro.net.errors import MigrationError, NetError
+from repro.net.messages import (
+    AckMessage,
+    AdoptMessage,
+    AnswerMessage,
+    QueryMessage,
+    UpdateMessage,
+    clean_results,
+)
+
+
+class OAConfig:
+    """Tunables for an organizing agent.
+
+    ``cache_results``
+        merge gathered fragments into the site database (the paper's
+        default aggressive caching) or use a per-query overlay;
+    ``nesting_strategy``
+        ``fetch-subtree`` (paper's implemented approach) or
+        ``boolean-probe`` (the proposed alternative);
+    ``fast_codegen``
+        use the pre-compiled QEG/XSLT skeleton (Section 4, "Speeding up
+        XSLT processing"); only affects the accounted processing cost,
+        not results.
+    """
+
+    def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
+                 fast_codegen=True, generalization=GENERALIZE_ANSWER):
+        self.cache_results = cache_results
+        self.nesting_strategy = nesting_strategy
+        self.fast_codegen = fast_codegen
+        self.generalization = generalization
+
+
+class OrganizingAgent:
+    """One site's manager process."""
+
+    def __init__(self, site_id, database, network, resolver, schema=None,
+                 config=None, clock=None):
+        self.site_id = site_id
+        self.database = database
+        self.network = network
+        self.resolver = resolver
+        self.schema = schema
+        self.config = config or OAConfig()
+        self.clock = clock or database.clock
+        self.driver = GatherDriver(
+            database,
+            send=self._send_subquery,
+            schema=schema,
+            cache_results=self.config.cache_results,
+            nesting_strategy=self.config.nesting_strategy,
+            generalization=self.config.generalization,
+        )
+        self.continuous = ContinuousQueryManager(self)
+        self.stats = {
+            "user_queries": 0,
+            "subqueries_served": 0,
+            "updates_applied": 0,
+            "updates_forwarded": 0,
+            "subqueries_sent": 0,
+            "migrations_out": 0,
+            "migrations_in": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Outgoing subqueries
+    # ------------------------------------------------------------------
+    def _send_subquery(self, subquery):
+        """Route a QEG subquery to the responsible site and await the reply."""
+        from repro.net.errors import NameNotFound
+
+        name = self.resolver.server.name_for(subquery.anchor_path)
+        try:
+            target, _hops = self.resolver.resolve(name)
+        except NameNotFound:
+            # The node was deleted (schema evolution) and our stub is a
+            # transient leftover: authoritative DNS says it no longer
+            # exists, so the subquery answers "nothing" -- exactly the
+            # transient inconsistency Section 4 accepts.
+            return None
+        self.stats["subqueries_sent"] += 1
+        if target == self.site_id:
+            # Ownership race or self-anchored fetch: answer locally.
+            return self.driver.answer_any(subquery.query)
+        message = QueryMessage(subquery.query, now=self.clock(),
+                               scalar=subquery.scalar, sender=self.site_id)
+        reply = self.network.request(self.site_id, target, message)
+        if not isinstance(reply, AnswerMessage):
+            raise NetError(
+                f"site {target!r} replied {type(reply).__name__} to a subquery"
+            )
+        if subquery.scalar:
+            return reply.scalar
+        return reply.fragment
+
+    # ------------------------------------------------------------------
+    # Serving queries
+    # ------------------------------------------------------------------
+    def answer_user_query(self, query, now=None):
+        """Answer a user query posed at this site.
+
+        Returns ``(results, outcome)``; results are clean (no system
+        attributes) detached elements.
+        """
+        self.stats["user_queries"] += 1
+        results, outcome = self.driver.answer_user_query(query, now=now)
+        return results, outcome
+
+    def handle_message(self, message):
+        """Dispatch one incoming message; returns the reply message."""
+        if isinstance(message, QueryMessage):
+            return self._handle_query(message)
+        if isinstance(message, UpdateMessage):
+            return self._handle_update(message)
+        if isinstance(message, AdoptMessage):
+            return self._handle_adopt(message)
+        raise NetError(
+            f"OA {self.site_id!r} cannot handle {type(message).__name__}"
+        )
+
+    def _handle_query(self, message):
+        if message.user:
+            self.stats["user_queries"] += 1
+            results, _outcome = self.driver.answer_user_query(
+                message.query, now=message.now
+            )
+            return AnswerMessage(message.message_id,
+                                 results=clean_results(results),
+                                 sender=self.site_id)
+        self.stats["subqueries_served"] += 1
+        if message.scalar:
+            scalar = self.driver.answer_scalar(message.query, now=message.now)
+            return AnswerMessage(message.message_id, scalar=scalar,
+                                 sender=self.site_id)
+        fragment = self.driver.answer_any(message.query, now=message.now)
+        return AnswerMessage(message.message_id, fragment=fragment,
+                             sender=self.site_id)
+
+    # ------------------------------------------------------------------
+    # Sensor updates
+    # ------------------------------------------------------------------
+    def _handle_update(self, message):
+        element = self.database.find(message.id_path)
+        if element is not None and get_status(element) is Status.OWNED:
+            self.database.apply_update(message.id_path,
+                                       attributes=message.attributes,
+                                       values=message.values)
+            self.stats["updates_applied"] += 1
+            self.continuous.on_update(message.id_path)
+            return AckMessage(message.message_id, ok=True,
+                              sender=self.site_id)
+        # Not owned here (e.g. a stale-DNS straggler after a migration):
+        # forward to the current owner per the fresh DNS entry.
+        name = self.resolver.server.name_for(message.id_path)
+        self.resolver.invalidate(name)
+        target, _hops = self.resolver.resolve(name)
+        if target == self.site_id:
+            raise CoreError(
+                f"DNS says {self.site_id!r} owns {message.id_path} but the "
+                "node is not stored as owned here"
+            )
+        self.stats["updates_forwarded"] += 1
+        return self.network.request(self.site_id, target, message)
+
+    # ------------------------------------------------------------------
+    # Ownership migration (Section 4)
+    # ------------------------------------------------------------------
+    def delegate(self, id_path, new_owner, dns_server):
+        """Move ownership of the node at *id_path* (and the contiguous
+        owned region below it) to *new_owner*.
+
+        Follows the paper's protocol: export the local information,
+        have the new owner adopt it (its status becomes ``owned``
+        there), demote the local copies to ``complete``, and finally
+        flip the DNS entries -- the step that makes the transfer atomic
+        for the rest of the system.
+        """
+        id_path = tuple(tuple(entry) for entry in id_path)
+        element = self.database.find(id_path)
+        if element is None or get_status(element) is not Status.OWNED:
+            raise MigrationError(
+                f"site {self.site_id!r} does not own {id_path}"
+            )
+        region = self._owned_region(element)
+        fragment = self._export_region(region)
+        paths = [tuple(tuple(e) for e in id_path_of(node)) for node in region]
+
+        reply = self.network.request(
+            self.site_id, new_owner,
+            AdoptMessage(paths, fragment, sender=self.site_id),
+        )
+        if not (isinstance(reply, AckMessage) and reply.ok):
+            raise MigrationError(
+                f"site {new_owner!r} refused adoption: "
+                f"{getattr(reply, 'detail', reply)!r}"
+            )
+        for path in paths:
+            relinquish_ownership(self.database, path)
+        for path in paths:
+            dns_server.update(dns_server.name_for(path), new_owner)
+        self.stats["migrations_out"] += 1
+        return paths
+
+    def _owned_region(self, element):
+        """The contiguous owned subtree rooted at *element*."""
+        region = []
+        stack = [element]
+        while stack:
+            node = stack.pop()
+            if get_status(node) is Status.OWNED:
+                region.append(node)
+                stack.extend(idable_children(node))
+        return region
+
+    def _export_region(self, region):
+        from repro.core.answer import AnswerBuilder
+
+        builder = AnswerBuilder(self.database)
+        for node in region:
+            builder.include_local_information(node)
+        return builder.build()
+
+    def _handle_adopt(self, message):
+        try:
+            self.database.store_fragment(message.fragment)
+            for path in message.id_paths:
+                self.database.mark_owned(path)
+        except CoreError as exc:
+            return AckMessage(message.message_id, ok=False, detail=str(exc),
+                              sender=self.site_id)
+        self.stats["migrations_in"] += 1
+        return AckMessage(message.message_id, ok=True, sender=self.site_id)
+
+    # ------------------------------------------------------------------
+    # Schema evolution (Section 4)
+    # ------------------------------------------------------------------
+    def add_node(self, parent_path, tag, identifier, attributes=None,
+                 values=None, dns_server=None):
+        """Add an IDable node under an owned parent; register its DNS
+        entry (the node starts owned by this site)."""
+        element = add_idable_child(self.database, parent_path, tag,
+                                   identifier, attributes=attributes,
+                                   values=values)
+        if dns_server is not None:
+            path = tuple(tuple(e) for e in parent_path) +                 ((tag, identifier),)
+            dns_server.register_id_path(path, self.site_id)
+        if self.schema is not None:
+            self.schema.register_child(parent_path[-1][0], tag)
+        return element
+
+    def remove_node(self, path, dns_server=None):
+        """Remove an IDable node whose parent this site owns; retire
+        the DNS entries of everything below it."""
+        removed = remove_idable_child(self.database, path)
+        if dns_server is not None:
+            for removed_path in removed:
+                dns_server.remove(dns_server.name_for(removed_path))
+        return removed
+
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return (
+            f"OrganizingAgent({self.site_id!r}, "
+            f"owns={len(self.database.owned_nodes())} nodes)"
+        )
+
+
+def export_single_node(database, id_path):
+    """Convenience wrapper kept for symmetry with :mod:`repro.core.ownership`."""
+    return export_local_information(database, id_path)

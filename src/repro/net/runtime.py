@@ -1,0 +1,129 @@
+"""A live concurrent runtime: many client threads against one cluster.
+
+The discrete-event simulator (:mod:`repro.sim`) regenerates the paper's
+cluster numbers from a cost model; this module complements it with a
+*real* concurrent execution of the same OA/SA/DNS code path, used by
+the examples and by wall-clock sanity benchmarks.
+
+Sites are serialized with per-site locks, mirroring the one-process-
+per-site deployment of the paper's prototype: concurrent queries at a
+single site queue behind each other, while queries at different sites
+genuinely run in parallel (subquery chains descend the hierarchy, so
+the lock order is acyclic and deadlock-free).
+"""
+
+import threading
+import time
+
+from repro.net.transport import LoopbackNetwork
+
+
+class LockingNetwork(LoopbackNetwork):
+    """Loopback delivery with one lock per destination site."""
+
+    def __init__(self, count_bytes=False):
+        super().__init__(count_bytes=count_bytes)
+        self._locks = {}
+        self._locks_guard = threading.Lock()
+
+    def _lock_for(self, site_id):
+        with self._locks_guard:
+            lock = self._locks.get(site_id)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[site_id] = lock
+            return lock
+
+    def request(self, src, dst, message):
+        with self._lock_for(dst):
+            return super().request(src, dst, message)
+
+
+class ClientWorkloadResult:
+    """Outcome of a concurrent client run."""
+
+    def __init__(self, completed, duration, latencies):
+        self.completed = completed
+        self.duration = duration
+        self.latencies = latencies
+
+    @property
+    def throughput(self):
+        """Completed queries per second of wall-clock time."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def mean_latency(self):
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    def percentile_latency(self, fraction):
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def __repr__(self):
+        return (
+            f"ClientWorkloadResult(completed={self.completed}, "
+            f"throughput={self.throughput:.1f}/s, "
+            f"mean_latency={self.mean_latency * 1000:.2f}ms)"
+        )
+
+
+def run_concurrent_clients(cluster, query_source, n_clients=4,
+                           queries_per_client=25):
+    """Run *n_clients* threads, each posing queries drawn from
+    *query_source* (a zero-argument callable returning a query string).
+
+    Returns a :class:`ClientWorkloadResult` with wall-clock throughput
+    and per-query latencies.  The cluster must have been built with a
+    :class:`LockingNetwork` (see :func:`make_concurrent_cluster`) to be
+    exercised concurrently.
+    """
+    latencies = []
+    latencies_lock = threading.Lock()
+    errors = []
+
+    def client():
+        local = []
+        try:
+            for _ in range(queries_per_client):
+                query = query_source()
+                started = time.perf_counter()
+                cluster.query(query)
+                local.append(time.perf_counter() - started)
+        except Exception as exc:  # surfaced after joining
+            errors.append(exc)
+        with latencies_lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=client) for _ in range(n_clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return ClientWorkloadResult(len(latencies), duration, latencies)
+
+
+def make_concurrent_cluster(global_document, plan, **kwargs):
+    """Build a :class:`~repro.net.cluster.Cluster` on a locking network."""
+    from repro.net.cluster import Cluster
+
+    cluster = Cluster(global_document, plan, **kwargs)
+    locking = LockingNetwork(count_bytes=cluster.network.traffic.count_bytes)
+    for site, agent in cluster.agents.items():
+        agent.network = locking
+        locking.register(site, agent)
+    for agent in cluster.sensing_agents:
+        agent.network = locking
+    cluster.network = locking
+    return cluster

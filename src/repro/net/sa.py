@@ -1,0 +1,67 @@
+"""Sensing agents (SAs): sensor proxies feeding updates to the OAs.
+
+An SA stands in for a webcam-plus-PC sensor proxy: it monitors a set
+of parking spaces, turns raw readings into availability updates, and
+sends each update to the OA that owns the space (found through DNS,
+like everything else).  For scale experiments the paper itself runs
+"fake SAs that produce random data updates"; :class:`RandomSensorModel`
+reproduces that.
+"""
+
+import random
+
+from repro.net.messages import UpdateMessage
+
+
+class RandomSensorModel:
+    """Random availability flips, the paper's fake-SA update source.
+
+    Each reading flips a space's availability with probability
+    ``flip_probability``, otherwise re-reports the current state.
+    """
+
+    def __init__(self, flip_probability=0.3, seed=None):
+        self.flip_probability = flip_probability
+        self.rng = random.Random(seed)
+        self._state = {}
+
+    def reading(self, space_path):
+        current = self._state.get(space_path, True)
+        if self.rng.random() < self.flip_probability:
+            current = not current
+        self._state[space_path] = current
+        return {"available": "yes" if current else "no"}
+
+
+class SensingAgent:
+    """One sensor proxy covering a set of parking spaces."""
+
+    def __init__(self, agent_id, space_paths, network, resolver, model=None,
+                 clock=None):
+        self.agent_id = agent_id
+        self.space_paths = [tuple(tuple(e) for e in p) for p in space_paths]
+        self.network = network
+        self.resolver = resolver
+        self.model = model or RandomSensorModel()
+        self.clock = clock or (lambda: 0.0)
+        self.stats = {"updates_sent": 0}
+
+    def send_update(self, space_path, values=None, attributes=None):
+        """Send one update for *space_path* to its owner OA."""
+        if values is None:
+            values = self.model.reading(space_path)
+        name = self.resolver.server.name_for(space_path)
+        owner, _hops = self.resolver.resolve(name)
+        message = UpdateMessage(space_path, attributes=attributes,
+                                values=values, sender=self.agent_id)
+        reply = self.network.request(self.agent_id, owner, message)
+        self.stats["updates_sent"] += 1
+        return reply
+
+    def tick(self):
+        """One sensing round: report every covered space once."""
+        for path in self.space_paths:
+            self.send_update(path)
+
+    def __repr__(self):
+        return f"SensingAgent({self.agent_id!r}, spaces={len(self.space_paths)})"

@@ -1,0 +1,213 @@
+"""A real TCP runtime: organizing agents behind sockets.
+
+The loopback network delivers messages by function call; this module
+runs the *same* agents behind actual TCP servers on localhost, speaking
+the XML wire format of :mod:`repro.net.messages` with 4-byte big-endian
+length framing.  Every byte a deployment would put on the wire goes on
+the wire, which keeps the message codec honest and demonstrates that
+the system is runnable as separate OS processes (each site only needs
+its document fragment, the DNS address and the port map).
+
+:class:`TcpNetwork` implements the same ``request``/``tell`` interface
+as :class:`~repro.net.transport.LoopbackNetwork`, so agents are unaware
+of which transport carries them.
+"""
+
+import socket
+import socketserver
+import struct
+import threading
+
+from repro.net.errors import NetError, UnknownSite
+from repro.net.messages import Message
+from repro.net.transport import TrafficLog
+
+_HEADER = struct.Struct(">I")
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+def send_framed(sock, payload):
+    """Write one length-prefixed message."""
+    data = payload.encode("utf-8")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_framed(sock):
+    """Read one length-prefixed message; ``None`` on a clean close."""
+    header = _recv_exactly(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise NetError(f"frame of {length} bytes exceeds the limit")
+    if length == 0:
+        return ""
+    data = _recv_exactly(sock, length)
+    if data is None:
+        raise NetError("connection closed mid-frame")
+    return data.decode("utf-8")
+
+
+def _recv_exactly(sock, count):
+    """Read exactly *count* bytes; ``None`` on a close before any byte."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise NetError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class _AgentRequestHandler(socketserver.BaseRequestHandler):
+    def handle(self):
+        while True:
+            try:
+                payload = recv_framed(self.request)
+            except NetError:
+                return
+            if payload is None:
+                return
+            message = Message.decode(payload)
+            with self.server.agent_lock:
+                reply = self.server.agent.handle_message(message)
+            send_framed(self.request,
+                        reply.encode() if reply is not None else "")
+
+
+class TcpSiteServer(socketserver.ThreadingTCPServer):
+    """One site's OA served over TCP (threaded, connection-per-client)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, agent, host="127.0.0.1", port=0):
+        super().__init__((host, port), _AgentRequestHandler)
+        self.agent = agent
+        # The loopback runtime serializes each site with a lock; the
+        # TCP runtime does the same, mirroring one-OA-per-site.
+        self.agent_lock = threading.Lock()
+        self._thread = None
+
+    @property
+    def address(self):
+        return self.server_address
+
+    def start(self):
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+class TcpNetwork:
+    """Message delivery over TCP, given a site -> address map."""
+
+    def __init__(self, addresses=None, timeout=10.0, count_bytes=True):
+        self.addresses = dict(addresses or {})
+        self.timeout = timeout
+        self.traffic = TrafficLog(count_bytes=count_bytes)
+        self.interceptors = []
+        self._connections = {}
+        self._lock = threading.Lock()
+
+    def register_address(self, site_id, address):
+        self.addresses[site_id] = address
+
+    def _connection(self, site_id):
+        try:
+            address = self.addresses[site_id]
+        except KeyError:
+            raise UnknownSite(f"no TCP address for site {site_id!r}") \
+                from None
+        key = (threading.get_ident(), site_id)
+        with self._lock:
+            sock = self._connections.get(key)
+        if sock is None:
+            sock = socket.create_connection(address, timeout=self.timeout)
+            with self._lock:
+                self._connections[key] = sock
+        return key, sock
+
+    def request(self, src, dst, message):
+        for interceptor in self.interceptors:
+            interceptor(src, dst, message)
+        self.traffic.record(src, dst, message)
+        key, sock = self._connection(dst)
+        try:
+            send_framed(sock, message.encode())
+            payload = recv_framed(sock)
+        except (OSError, NetError):
+            with self._lock:
+                self._connections.pop(key, None)
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        if not payload:
+            return None
+        reply = Message.decode(payload)
+        self.traffic.record(dst, src, reply)
+        return reply
+
+    def tell(self, src, dst, message):
+        self.request(src, dst, message)
+
+    def close(self):
+        with self._lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for sock in connections:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TcpCluster:
+    """A cluster whose sites listen on real localhost sockets.
+
+    Builds the standard :class:`~repro.net.cluster.Cluster`, then hosts
+    every agent behind a :class:`TcpSiteServer` and rewires all agents
+    (and the client) onto a shared :class:`TcpNetwork`.  Use as a
+    context manager to guarantee socket teardown::
+
+        with TcpCluster(document, plan) as tcp:
+            results, site, _ = tcp.cluster.query(...)
+    """
+
+    def __init__(self, global_document, plan, **cluster_kwargs):
+        from repro.net.cluster import Cluster
+
+        self.cluster = Cluster(global_document, plan, **cluster_kwargs)
+        self.network = TcpNetwork()
+        self.servers = {}
+        for site, agent in self.cluster.agents.items():
+            server = TcpSiteServer(agent).start()
+            self.servers[site] = server
+            self.network.register_address(site, server.address)
+        for agent in self.cluster.agents.values():
+            agent.network = self.network
+        self.cluster.network = self.network
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def close(self):
+        self.network.close()
+        for server in self.servers.values():
+            server.stop()

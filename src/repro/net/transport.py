@@ -1,0 +1,85 @@
+"""Message transport between sites.
+
+:class:`LoopbackNetwork` delivers messages by direct synchronous calls
+-- deterministic and fast, used by the integration tests, the examples
+and (with the cost model layered on top) the simulator.  The threaded
+live runtime in :mod:`repro.net.runtime` provides truly asynchronous
+delivery over queues with the same interface.
+
+All traffic is counted (messages and approximate bytes, per link), so
+experiments can report communication costs.
+"""
+
+from repro.net.errors import UnknownSite
+
+
+class TrafficLog:
+    """Per-link counters of messages and bytes."""
+
+    def __init__(self, count_bytes=False):
+        self.count_bytes = count_bytes
+        self.messages = 0
+        self.bytes = 0
+        self.per_link = {}
+
+    def record(self, src, dst, message):
+        self.messages += 1
+        size = message.encoded_size() if self.count_bytes else 0
+        self.bytes += size
+        key = (src, dst)
+        entry = self.per_link.setdefault(key, [0, 0])
+        entry[0] += 1
+        entry[1] += size
+
+    def summary(self):
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "links": dict(self.per_link),
+        }
+
+
+class LoopbackNetwork:
+    """Synchronous in-process delivery to registered agents.
+
+    Agents implement ``handle_message(message) -> reply | None``.
+    ``request`` returns the reply; ``tell`` discards it (one-way).
+    """
+
+    def __init__(self, count_bytes=False):
+        self._agents = {}
+        self.traffic = TrafficLog(count_bytes=count_bytes)
+        # Hook for failure-injection tests: callables(src, dst, message)
+        # may raise or mutate to simulate loss/corruption.
+        self.interceptors = []
+
+    def register(self, site_id, agent):
+        self._agents[site_id] = agent
+
+    def unregister(self, site_id):
+        self._agents.pop(site_id, None)
+
+    @property
+    def sites(self):
+        return sorted(self._agents)
+
+    def agent(self, site_id):
+        try:
+            return self._agents[site_id]
+        except KeyError:
+            raise UnknownSite(f"no agent registered for site {site_id!r}") \
+                from None
+
+    def request(self, src, dst, message):
+        """Deliver *message* and return the destination's reply."""
+        for interceptor in self.interceptors:
+            interceptor(src, dst, message)
+        self.traffic.record(src, dst, message)
+        reply = self.agent(dst).handle_message(message)
+        if reply is not None:
+            self.traffic.record(dst, src, reply)
+        return reply
+
+    def tell(self, src, dst, message):
+        """Deliver *message*, ignoring any reply."""
+        self.request(src, dst, message)

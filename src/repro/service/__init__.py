@@ -1,0 +1,44 @@
+"""Application services: Parking Space Finder and coastal monitoring."""
+
+from repro.service.coastal import (
+    CoastalConfig,
+    build_coastal_document,
+    high_risk_query,
+    region_alert_query,
+    station_path,
+)
+from repro.service.parking import (
+    ParkingConfig,
+    all_space_paths,
+    block_path,
+    build_parking_document,
+    city_path,
+    neighborhood_path,
+    space_path,
+    type1_query,
+    type2_query,
+    type3_query,
+    type4_query,
+)
+from repro.service.workload import QueryWorkload, UpdateWorkload
+
+__all__ = [
+    "ParkingConfig",
+    "build_parking_document",
+    "all_space_paths",
+    "city_path",
+    "neighborhood_path",
+    "block_path",
+    "space_path",
+    "type1_query",
+    "type2_query",
+    "type3_query",
+    "type4_query",
+    "QueryWorkload",
+    "UpdateWorkload",
+    "CoastalConfig",
+    "build_coastal_document",
+    "station_path",
+    "high_risk_query",
+    "region_alert_query",
+]

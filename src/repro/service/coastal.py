@@ -1,0 +1,86 @@
+"""A coastal-monitoring service document (the paper's second use case).
+
+Section 1 mentions deploying IrisNet "along the Oregon coastline, to
+monitor a variety of coastal phenomena (rip-tides, sandbar formation,
+etc.)".  This module generates a matching document so examples and
+tests exercise the system on a second, differently shaped hierarchy:
+
+    coastline > region > station > instrument readings
+"""
+
+import random
+
+from repro.xmlkit.nodes import Element
+
+_REGIONS = ["north-coast", "central-coast", "south-coast"]
+
+
+class CoastalConfig:
+    """Shape of the generated coastal-monitoring database."""
+
+    def __init__(self, regions=3, stations_per_region=4, seed=7):
+        self.regions = regions
+        self.stations_per_region = stations_per_region
+        self.seed = seed
+
+    def region_names(self):
+        return [
+            _REGIONS[i] if i < len(_REGIONS) else f"region-{i + 1}"
+            for i in range(self.regions)
+        ]
+
+    def station_ids(self):
+        return [f"st-{i + 1}" for i in range(self.stations_per_region)]
+
+
+def build_coastal_document(config=None):
+    """Generate the coastline document.
+
+    Stations carry water temperature, salinity, wave height and a
+    rip-current risk flag; regions carry an ``alert-level`` aggregate.
+    """
+    config = config or CoastalConfig()
+    rng = random.Random(config.seed)
+    root = Element("coastline", attrib={"id": "oregon"})
+    for region_name in config.region_names():
+        region = Element("region", attrib={"id": region_name})
+        root.append(region)
+        worst = "low"
+        for station_id in config.station_ids():
+            station = Element("station", attrib={
+                "id": station_id,
+                "latitude": f"{44 + rng.random():.4f}",
+                "longitude": f"{-124 - rng.random() * 0.2:.4f}",
+            })
+            risk = rng.choice(["low", "low", "medium", "high"])
+            if risk == "high":
+                worst = "high"
+            elif risk == "medium" and worst == "low":
+                worst = "medium"
+            station.append(Element(
+                "water-temperature", text=f"{9 + rng.random() * 6:.1f}"))
+            station.append(Element(
+                "salinity", text=f"{31 + rng.random() * 3:.2f}"))
+            station.append(Element(
+                "wave-height", text=f"{rng.random() * 4:.2f}"))
+            station.append(Element("rip-current-risk", text=risk))
+            region.append(station)
+        region.append(Element("alert-level", text=worst))
+    return root
+
+
+def station_path(region, station):
+    return (("coastline", "oregon"), ("region", region), ("station", station))
+
+
+def high_risk_query():
+    """All stations currently reporting high rip-current risk."""
+    return "/coastline[@id='oregon']//station[rip-current-risk='high']"
+
+
+def region_alert_query(region):
+    """The alert level of one region, tolerating 120s-old cached data."""
+    return (
+        f"/coastline[@id='oregon']/region[@id='{region}']"
+        f"[timestamp() > current-time() - 120]/alert-level"
+    )

@@ -1,0 +1,226 @@
+"""The Parking Space Finder service: document generator and queries.
+
+Reproduces the paper's experimental database (Section 5.1): "2 cities,
+3 neighborhoods per city, 20 blocks per neighborhood, and 20 parking
+spaces per block" -- 2400 spaces -- organized in the
+geographic/political hierarchy of Figure 1, plus the 8x "large"
+variant used by the micro-benchmarks (double the neighborhoods, blocks
+and spaces per block).
+"""
+
+import random
+
+from repro.xmlkit.nodes import Element
+
+_CITY_NAMES = ["Pittsburgh", "Philadelphia", "Harrisburg", "Erie",
+               "Allentown", "Scranton", "Reading", "Bethlehem"]
+_NEIGHBORHOOD_NAMES = [
+    "Oakland", "Shadyside", "Downtown", "Squirrel-Hill", "Bloomfield",
+    "Lawrenceville", "Etna", "Greenfield", "Regent-Square", "Highland-Park",
+    "Point-Breeze", "Friendship",
+]
+
+
+class ParkingConfig:
+    """Shape of the generated parking database."""
+
+    def __init__(self, cities=2, neighborhoods_per_city=3,
+                 blocks_per_neighborhood=20, spaces_per_block=20,
+                 region="NE", state="PA", county="Allegheny", seed=17):
+        self.cities = cities
+        self.neighborhoods_per_city = neighborhoods_per_city
+        self.blocks_per_neighborhood = blocks_per_neighborhood
+        self.spaces_per_block = spaces_per_block
+        self.region = region
+        self.state = state
+        self.county = county
+        self.seed = seed
+
+    @classmethod
+    def paper_small(cls):
+        """The 2400-space database of Section 5.1."""
+        return cls()
+
+    @classmethod
+    def paper_large(cls):
+        """The 8x database of Section 5.6 (2x neighborhoods/blocks/spaces)."""
+        return cls(neighborhoods_per_city=6, blocks_per_neighborhood=40,
+                   spaces_per_block=40)
+
+    @classmethod
+    def tiny(cls):
+        """A small database for fast tests."""
+        return cls(cities=2, neighborhoods_per_city=2,
+                   blocks_per_neighborhood=3, spaces_per_block=3)
+
+    @property
+    def total_spaces(self):
+        return (self.cities * self.neighborhoods_per_city *
+                self.blocks_per_neighborhood * self.spaces_per_block)
+
+    def city_names(self):
+        return [
+            _CITY_NAMES[i] if i < len(_CITY_NAMES) else f"City-{i + 1}"
+            for i in range(self.cities)
+        ]
+
+    def neighborhood_names(self):
+        return [
+            _NEIGHBORHOOD_NAMES[i] if i < len(_NEIGHBORHOOD_NAMES)
+            else f"Nbhd-{i + 1}"
+            for i in range(self.neighborhoods_per_city)
+        ]
+
+    def block_ids(self):
+        return [str(i + 1) for i in range(self.blocks_per_neighborhood)]
+
+    def space_ids(self):
+        return [str(i + 1) for i in range(self.spaces_per_block)]
+
+
+def build_parking_document(config=None):
+    """Generate the parking database document.
+
+    Every parking space carries ``available`` (yes/no), ``price``
+    (cents) and ``meter-hours`` children; neighborhoods carry a
+    ``zipcode`` attribute and an ``available-spaces`` aggregate field,
+    mirroring the attributes the paper's example queries touch.
+    """
+    config = config or ParkingConfig.paper_small()
+    rng = random.Random(config.seed)
+    root = Element("usRegion", attrib={"id": config.region})
+    state = Element("state", attrib={"id": config.state})
+    root.append(state)
+    county = Element("county", attrib={"id": config.county})
+    state.append(county)
+    for city_name in config.city_names():
+        city = Element("city", attrib={"id": city_name})
+        county.append(city)
+        for nb_index, nb_name in enumerate(config.neighborhood_names()):
+            neighborhood = Element("neighborhood", attrib={
+                "id": nb_name,
+                "zipcode": str(15200 + nb_index),
+            })
+            city.append(neighborhood)
+            free_count = 0
+            for block_id in config.block_ids():
+                block = Element("block", attrib={"id": block_id})
+                neighborhood.append(block)
+                for space_id in config.space_ids():
+                    available = rng.random() < 0.5
+                    free_count += 1 if available else 0
+                    space = Element("parkingSpace", attrib={"id": space_id})
+                    space.append(Element(
+                        "available", text="yes" if available else "no"))
+                    space.append(Element(
+                        "price", text=str(rng.choice([0, 25, 50, 75]))))
+                    space.append(Element(
+                        "meter-hours", text=str(rng.choice([1, 2, 4, 10]))))
+                    block.append(space)
+            neighborhood.append(
+                Element("available-spaces", text=str(free_count)))
+    return root
+
+
+# ----------------------------------------------------------------------
+# Path helpers
+# ----------------------------------------------------------------------
+def region_path(config):
+    return ((("usRegion", config.region)),)
+
+
+def city_path(config, city):
+    return (
+        ("usRegion", config.region),
+        ("state", config.state),
+        ("county", config.county),
+        ("city", city),
+    )
+
+
+def neighborhood_path(config, city, neighborhood):
+    return city_path(config, city) + (("neighborhood", neighborhood),)
+
+
+def block_path(config, city, neighborhood, block):
+    return neighborhood_path(config, city, neighborhood) + (("block", block),)
+
+
+def space_path(config, city, neighborhood, block, space):
+    return block_path(config, city, neighborhood, block) + \
+        (("parkingSpace", space),)
+
+
+def all_space_paths(config):
+    """ID paths of every parking space, for wiring up sensing agents."""
+    paths = []
+    for city in config.city_names():
+        for neighborhood in config.neighborhood_names():
+            for block in config.block_ids():
+                for space in config.space_ids():
+                    paths.append(space_path(config, city, neighborhood,
+                                            block, space))
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Query builders (the four types of Section 5.1)
+# ----------------------------------------------------------------------
+def _prefix(config):
+    return (
+        f"/usRegion[@id='{config.region}']"
+        f"/state[@id='{config.state}']"
+        f"/county[@id='{config.county}']"
+    )
+
+
+def type1_query(config, city, neighborhood, block, selection="block"):
+    """Type 1: one block, exact path from the root."""
+    base = (
+        f"{_prefix(config)}/city[@id='{city}']"
+        f"/neighborhood[@id='{neighborhood}']/block[@id='{block}']"
+    )
+    return _apply_selection(base, selection)
+
+
+def type2_query(config, city, neighborhood, block_a, block_b,
+                selection="block"):
+    """Type 2: two blocks of a single neighborhood."""
+    base = (
+        f"{_prefix(config)}/city[@id='{city}']"
+        f"/neighborhood[@id='{neighborhood}']"
+        f"/block[@id='{block_a}' or @id='{block_b}']"
+    )
+    return _apply_selection(base, selection)
+
+
+def type3_query(config, city, neighborhood_a, neighborhood_b, block,
+                selection="block"):
+    """Type 3: two blocks from two neighborhoods (destination near the
+    boundary) -- the shape of the paper's Figure 2 query."""
+    base = (
+        f"{_prefix(config)}/city[@id='{city}']"
+        f"/neighborhood[@id='{neighborhood_a}' or @id='{neighborhood_b}']"
+        f"/block[@id='{block}']"
+    )
+    return _apply_selection(base, selection)
+
+
+def type4_query(config, city_a, city_b, neighborhood, block,
+                selection="block"):
+    """Type 4: two blocks from two different cities."""
+    base = (
+        f"{_prefix(config)}/city[@id='{city_a}' or @id='{city_b}']"
+        f"/neighborhood[@id='{neighborhood}']/block[@id='{block}']"
+    )
+    return _apply_selection(base, selection)
+
+
+def _apply_selection(base, selection):
+    if selection == "block":
+        return base
+    if selection == "available":
+        return base + "/parkingSpace[available='yes']"
+    if selection == "cheap":
+        return base + "/parkingSpace[available='yes'][price='0']"
+    raise ValueError(f"unknown selection {selection!r}")

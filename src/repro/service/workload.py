@@ -1,0 +1,130 @@
+"""Query workloads QW-1..QW-4, QW-Mix and the skewed variants.
+
+Section 5.3 evaluates five workloads: QW-1..QW-4 consist of randomly
+generated queries of the corresponding type, and QW-Mix asks 40% type 1
+and type 2 each, 15% type 3 and 5% type 4.  Section 5.4's skew
+experiments use QW-Mix2 (50% type 1, 50% type 2) with 90% of the
+queries targeting a single neighborhood.
+"""
+
+import random
+
+from repro.service import parking
+
+
+class QueryWorkload:
+    """A stream of queries drawn from a type mix, optionally skewed.
+
+    *mix* maps query type (1..4) to probability.  With *skew* > 0, that
+    fraction of the generated queries targets ``hot_neighborhood`` (in
+    ``hot_city``); the rest are uniform.
+    """
+
+    def __init__(self, config, mix, selection="block", skew=0.0,
+                 hot_city=None, hot_neighborhood=None, seed=None):
+        self.config = config
+        total = sum(mix.values())
+        self.mix = {k: v / total for k, v in mix.items()}
+        self.selection = selection
+        self.skew = skew
+        self.hot_city = hot_city or config.city_names()[0]
+        self.hot_neighborhood = (hot_neighborhood
+                                 or config.neighborhood_names()[0])
+        self.rng = random.Random(seed)
+
+    # -- factories for the paper's named workloads ----------------------
+    @classmethod
+    def qw(cls, config, query_type, **kwargs):
+        """QW-1..QW-4: a single-type workload."""
+        return cls(config, {query_type: 1.0}, **kwargs)
+
+    @classmethod
+    def qw_mix(cls, config, **kwargs):
+        """QW-Mix: 40/40/15/5 over types 1-4 (Section 5.3)."""
+        return cls(config, {1: 0.40, 2: 0.40, 3: 0.15, 4: 0.05}, **kwargs)
+
+    @classmethod
+    def qw_mix2(cls, config, **kwargs):
+        """QW-Mix2: 50% type 1, 50% type 2 (Section 5.4)."""
+        return cls(config, {1: 0.50, 2: 0.50}, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _pick_type(self):
+        roll = self.rng.random()
+        acc = 0.0
+        for query_type, probability in sorted(self.mix.items()):
+            acc += probability
+            if roll <= acc:
+                return query_type
+        return max(self.mix)
+
+    def _pick_city(self):
+        return self.rng.choice(self.config.city_names())
+
+    def _pick_two(self, options):
+        if len(options) < 2:
+            return options[0], options[0]
+        return self.rng.sample(options, 2)
+
+    def sample(self):
+        """Generate one query string (and its type) from the workload."""
+        query_type = self._pick_type()
+        config = self.config
+        cities = config.city_names()
+        neighborhoods = config.neighborhood_names()
+        blocks = config.block_ids()
+        hot = self.skew > 0 and self.rng.random() < self.skew
+
+        if query_type == 1:
+            city = self.hot_city if hot else self._pick_city()
+            nb = self.hot_neighborhood if hot else self.rng.choice(neighborhoods)
+            query = parking.type1_query(config, city, nb,
+                                        self.rng.choice(blocks),
+                                        selection=self.selection)
+        elif query_type == 2:
+            city = self.hot_city if hot else self._pick_city()
+            nb = self.hot_neighborhood if hot else self.rng.choice(neighborhoods)
+            block_a, block_b = self._pick_two(blocks)
+            query = parking.type2_query(config, city, nb, block_a, block_b,
+                                        selection=self.selection)
+        elif query_type == 3:
+            city = self._pick_city()
+            nb_a, nb_b = self._pick_two(neighborhoods)
+            query = parking.type3_query(config, city, nb_a, nb_b,
+                                        self.rng.choice(blocks),
+                                        selection=self.selection)
+        elif query_type == 4:
+            city_a, city_b = self._pick_two(cities)
+            query = parking.type4_query(config, city_a, city_b,
+                                        self.rng.choice(neighborhoods),
+                                        self.rng.choice(blocks),
+                                        selection=self.selection)
+        else:
+            raise ValueError(f"unknown query type {query_type}")
+        return query, query_type
+
+    def __call__(self):
+        """Callable form returning just the query string."""
+        return self.sample()[0]
+
+    def take(self, count):
+        """A list of *count* (query, type) samples."""
+        return [self.sample() for _ in range(count)]
+
+
+class UpdateWorkload:
+    """A stream of random sensor updates over all parking spaces."""
+
+    def __init__(self, config, seed=None):
+        self.config = config
+        self.paths = parking.all_space_paths(config)
+        self.rng = random.Random(seed)
+
+    def sample(self):
+        """One ``(id_path, values)`` update."""
+        path = self.rng.choice(self.paths)
+        available = "yes" if self.rng.random() < 0.5 else "no"
+        return path, {"available": available}
+
+    def take(self, count):
+        return [self.sample() for _ in range(count)]

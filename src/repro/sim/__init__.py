@@ -1,0 +1,30 @@
+"""Discrete-event simulation of the cluster experiments (Figures 7-11)."""
+
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import (
+    AllOf,
+    Environment,
+    Event,
+    Process,
+    Resource,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.metrics import WorkloadMetrics
+from repro.sim.simcluster import SimulatedCluster
+from repro.sim.trace import TraceNode, TracingNetwork
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "AllOf",
+    "SimulationError",
+    "CostModel",
+    "WorkloadMetrics",
+    "SimulatedCluster",
+    "TraceNode",
+    "TracingNetwork",
+]

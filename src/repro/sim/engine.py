@@ -1,0 +1,217 @@
+"""A small process-based discrete-event simulation engine.
+
+Provides just what the cluster experiments need: an event loop with a
+virtual clock, generator-based processes, FIFO resources (one per site,
+modelling the paper's one-OA-per-machine deployment) and an all-of
+barrier for parallel subqueries.
+
+The API is a deliberate miniature of the well-known process-interaction
+style: processes are generators that ``yield`` events; a yielded event
+suspends the process until the event fires.
+"""
+
+import heapq
+import itertools
+
+
+class SimulationError(Exception):
+    """Raised on misuse of the simulation primitives."""
+
+
+class Event:
+    """A one-shot event; processes waiting on it resume when it fires."""
+
+    __slots__ = ("env", "callbacks", "triggered", "processed", "value")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+        self.triggered = False
+        self.processed = False
+        self.value = None
+
+    def succeed(self, value=None):
+        """Fire the event now."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.env._schedule(self, 0.0)
+        return self
+
+    def add_callback(self, callback):
+        """Register *callback*; safe even after the event has fired."""
+        if self.processed:
+            # Late registration: deliver on a zero-delay trampoline so
+            # the callback still runs from the event loop.
+            trampoline = Event(self.env)
+            trampoline.callbacks.append(
+                lambda _e, cb=callback: cb(self)
+            )
+            trampoline.succeed(self.value)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self):
+        return f"<{type(self).__name__} triggered={self.triggered}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env, delay):
+        super().__init__(env)
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.triggered = True
+        env._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires once every event in *events* has fired."""
+
+    def __init__(self, env, events):
+        super().__init__(env)
+        self._pending = 0
+        events = list(events)
+        for event in events:
+            self._pending += 1
+            event.add_callback(self._on_child)
+        if self._pending == 0:
+            self.succeed()
+
+    def _on_child(self, _event):
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.succeed()
+
+
+class Process(Event):
+    """Drives a generator; fires (as an event) when the generator ends."""
+
+    def __init__(self, env, generator):
+        super().__init__(env)
+        self.generator = generator
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(lambda _e: self._resume(None))
+        bootstrap.succeed()
+
+    def _resume(self, event):
+        try:
+            if event is None:
+                target = next(self.generator)
+            else:
+                target = self.generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Resource:
+    """A FIFO server pool (capacity defaults to a single server).
+
+    ``request()`` returns an event that fires when a server is free;
+    the holder must call ``release()`` afterwards.  Utilization
+    statistics feed the experiment reports.
+    """
+
+    def __init__(self, env, capacity=1, name=""):
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting = []
+        self.busy_time = 0.0
+        self._busy_since = None
+        self.served = 0
+
+    def request(self):
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiting.append(event)
+        return event
+
+    def _grant(self, event):
+        self._in_use += 1
+        if self._in_use == 1:
+            self._busy_since = self.env.now
+        self.served += 1
+        event.succeed()
+
+    def release(self):
+        if self._in_use <= 0:
+            raise SimulationError(f"resource {self.name!r} over-released")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        if self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.pop(0))
+
+    def utilization(self, horizon):
+        """Fraction of time busy over *horizon* seconds."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy / horizon if horizon > 0 else 0.0
+
+    @property
+    def queue_length(self):
+        return len(self._waiting)
+
+
+class Environment:
+    """The event loop and virtual clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._sequence = itertools.count()
+
+    def _schedule(self, event, delay):
+        heapq.heappush(self._heap,
+                       (self.now + delay, next(self._sequence), event))
+
+    # -- factories -------------------------------------------------------
+    def event(self):
+        return Event(self)
+
+    def timeout(self, delay):
+        return Timeout(self, delay)
+
+    def process(self, generator):
+        return Process(self, generator)
+
+    def all_of(self, events):
+        return AllOf(self, events)
+
+    def resource(self, capacity=1, name=""):
+        return Resource(self, capacity=capacity, name=name)
+
+    # -- running ----------------------------------------------------------
+    def step(self):
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event.triggered = True
+        event.processed = True
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until=None):
+        """Run until the heap drains or the clock passes *until*."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until

@@ -1,0 +1,140 @@
+"""Structural merging of XML fragments.
+
+Merging is the primitive beneath the paper's caching scheme: when a
+(generalized) subquery answer arrives at a site, the returned document
+fragment is merged into the site's database.  Children are matched by
+their *identity key*, by default ``(tag, @id)`` -- the same notion the
+paper's IDable nodes build on.
+
+The cache-specific policy (status tags, timestamps, invariants C1/C2)
+lives in :mod:`repro.core.cache`; this module knows only tree structure.
+"""
+
+from repro.xmlkit.errors import XmlMergeError
+from repro.xmlkit.nodes import Element, Text
+
+
+def default_key(element):
+    """Identity key for sibling matching: ``(tag, @id)``."""
+    return (element.tag, element.attrib.get("id"))
+
+
+def merge_into(target, source, prefer_source=True, key=default_key,
+               on_merge=None):
+    """Merge the fragment *source* into the tree *target*, in place.
+
+    Both roots must have the same identity key.  For each element:
+
+    * attributes are unioned; on conflict the source value wins when
+      ``prefer_source`` is true, otherwise the target value is kept;
+    * child elements are matched by *key* and merged recursively;
+      unmatched source children are deep-copied into the target;
+    * if the source element carries text, it replaces the target text.
+
+    ``on_merge(target_element, source_element)`` is invoked for every
+    pair of elements that were matched and merged, letting callers
+    layer policy (e.g. status/timestamp reconciliation) on top.
+
+    Returns *target*.
+    """
+    if key(target) != key(source):
+        raise XmlMergeError(
+            f"cannot merge fragments with different identities: "
+            f"{key(target)!r} vs {key(source)!r}"
+        )
+    _merge_element(target, source, prefer_source, key, on_merge)
+    return target
+
+
+def _merge_element(target, source, prefer_source, key, on_merge):
+    for name, value in source.attrib.items():
+        if prefer_source or name not in target.attrib:
+            target.attrib[name] = value
+
+    source_text = source.text
+    if source_text is not None:
+        target.set_text(source_text)
+
+    index = {}
+    for child in target.element_children():
+        index.setdefault(key(child), []).append(child)
+
+    for child in source.element_children():
+        matches = index.get(key(child))
+        if matches:
+            _merge_element(matches[0], child, prefer_source, key, on_merge)
+        else:
+            clone = child.copy()
+            target.append(clone)
+            index.setdefault(key(clone), []).append(clone)
+
+    if on_merge is not None:
+        on_merge(target, source)
+
+
+def graft(parent, fragment, key=default_key):
+    """Attach *fragment* under *parent*, merging if a sibling matches.
+
+    Returns the element inside *parent*'s tree that now holds the
+    fragment's content (either a pre-existing matched child or the
+    newly attached copy).
+    """
+    if not isinstance(fragment, Element):
+        raise XmlMergeError("can only graft an Element")
+    for child in parent.element_children():
+        if key(child) == key(fragment):
+            _merge_element(child, fragment, True, key, None)
+            return child
+    clone = fragment.copy()
+    parent.append(clone)
+    return clone
+
+
+def strip_matching(element, predicate):
+    """Recursively remove descendant elements for which *predicate* holds.
+
+    The element itself is never removed.  Returns the number of
+    elements removed.  Useful for evicting cache content in units of
+    whole subtrees.
+    """
+    removed = 0
+    for child in list(element.element_children()):
+        if predicate(child):
+            element.remove(child)
+            removed += 1 + sum(1 for _ in child.descendants())
+        else:
+            removed += strip_matching(child, predicate)
+    return removed
+
+
+def prune_to_paths(element, keep):
+    """Remove children not on any path in *keep*.
+
+    *keep* is an iterable of element lists (paths from *element* down).
+    Everything not on a kept path is removed.  Used by tests to build
+    partial fragments from a full document.
+    """
+    keep_sets = set()
+    for path in keep:
+        for node in path:
+            keep_sets.add(id(node))
+    _prune(element, keep_sets)
+    return element
+
+
+def _prune(element, keep_sets):
+    for child in list(element.element_children()):
+        if id(child) in keep_sets:
+            _prune(child, keep_sets)
+        else:
+            element.remove(child)
+
+
+def copy_without_children(element, keep_text=False):
+    """Shallow copy; optionally preserving direct text content."""
+    clone = element.shallow_copy()
+    if keep_text:
+        text = element.text
+        if text is not None:
+            clone.append(Text(text))
+    return clone

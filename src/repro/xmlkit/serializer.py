@@ -1,0 +1,87 @@
+"""Serialization of the node model back to XML text."""
+
+from repro.xmlkit.nodes import Document, Text
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value):
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value):
+    """Escape character data for a double-quoted attribute value."""
+    for raw, escaped in _ATTR_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _attributes_to_string(element, sort_attributes):
+    names = element.attrib
+    if sort_attributes:
+        names = sorted(names)
+    return "".join(
+        f' {name}="{escape_attribute(element.attrib[name])}"' for name in names
+    )
+
+
+def _write_compact(node, out, sort_attributes):
+    if isinstance(node, Text):
+        out.append(escape_text(node.value))
+        return
+    out.append(f"<{node.tag}{_attributes_to_string(node, sort_attributes)}")
+    if not node.children:
+        out.append("/>")
+        return
+    out.append(">")
+    for child in node.children:
+        _write_compact(child, out, sort_attributes)
+    out.append(f"</{node.tag}>")
+
+
+def _write_pretty(node, out, indent, level, sort_attributes):
+    pad = indent * level
+    if isinstance(node, Text):
+        out.append(f"{pad}{escape_text(node.value)}\n")
+        return
+    open_tag = f"{pad}<{node.tag}{_attributes_to_string(node, sort_attributes)}"
+    if not node.children:
+        out.append(open_tag + "/>\n")
+        return
+    only_text = all(isinstance(c, Text) for c in node.children)
+    if only_text:
+        text = escape_text("".join(c.value for c in node.children))
+        out.append(f"{open_tag}>{text}</{node.tag}>\n")
+        return
+    out.append(open_tag + ">\n")
+    for child in node.children:
+        _write_pretty(child, out, indent, level + 1, sort_attributes)
+    out.append(f"{pad}</{node.tag}>\n")
+
+
+def serialize(node, pretty=False, indent="  ", sort_attributes=False):
+    """Serialize an :class:`Element` or :class:`Document` to a string.
+
+    With ``pretty=True`` the output is indented, one element per line.
+    With ``sort_attributes=True`` attributes are emitted in sorted order,
+    which gives deterministic output useful for hashing and testing.
+    """
+    if isinstance(node, Document):
+        node = node.root
+    out = []
+    if pretty:
+        _write_pretty(node, out, indent, 0, sort_attributes)
+    else:
+        _write_compact(node, out, sort_attributes)
+    return "".join(out)
+
+
+def write_file(node, path, pretty=True):
+    """Serialize *node* to the file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('<?xml version="1.0" encoding="UTF-8"?>\n')
+        handle.write(serialize(node, pretty=pretty))

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the XPath engine."""
+
+
+class XPathError(Exception):
+    """Base class for all errors raised by :mod:`repro.xpath`."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when a query cannot be tokenized or parsed.
+
+    Carries the 0-based character ``offset`` into the query string.
+    """
+
+    def __init__(self, message, offset):
+        super().__init__(f"{message} (at offset {offset})")
+        self.offset = offset
+
+
+class XPathUnsupportedError(XPathError):
+    """Raised for constructs outside the unordered XPath fragment.
+
+    The paper (Section 3.1) supports "the entire unordered fragment of
+    XPath 1.0": ordering-dependent constructs such as ``position()``,
+    ``last()`` and the sibling/document-order axes are rejected.
+    """
+
+
+class XPathTypeError(XPathError):
+    """Raised when an operand has an inconvertible type."""
+
+
+class XPathEvaluationError(XPathError):
+    """Raised for runtime evaluation failures (unknown function, etc.)."""

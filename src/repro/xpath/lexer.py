@@ -1,0 +1,239 @@
+"""Tokenizer for XPath 1.0 expressions.
+
+Implements the lexical structure of XPath 1.0 (spec section 3.7),
+including the disambiguation rules that decide whether ``*`` is a
+multiplication operator or a wildcard, and whether an NCName is an
+operator name (``and``, ``or``, ``div``, ``mod``), a function name, a
+node-type test or an ordinary name test.
+
+One deliberate extension: operator names are recognized
+case-insensitively, so the paper's ``[@id='Oakland' OR @id='Shadyside']``
+parses as written in the figures.
+"""
+
+from repro.xpath.errors import XPathSyntaxError
+
+# Token kinds.
+SLASH = "SLASH"            # /
+DOUBLE_SLASH = "DSLASH"    # //
+LBRACKET = "LBRACKET"      # [
+RBRACKET = "RBRACKET"      # ]
+LPAREN = "LPAREN"          # (
+RPAREN = "RPAREN"          # )
+AT = "AT"                  # @
+COMMA = "COMMA"            # ,
+DOT = "DOT"                # .
+DOTDOT = "DOTDOT"          # ..
+PIPE = "PIPE"              # |
+PLUS = "PLUS"              # +
+MINUS = "MINUS"            # -
+EQ = "EQ"                  # =
+NEQ = "NEQ"                # !=
+LT = "LT"                  # <
+LE = "LE"                  # <=
+GT = "GT"                  # >
+GE = "GE"                  # >=
+MULTIPLY = "MULTIPLY"      # * (operator position)
+STAR = "STAR"              # * (wildcard position)
+AND = "AND"
+OR = "OR"
+DIV = "DIV"
+MOD = "MOD"
+AXIS = "AXIS"              # name followed by ::
+NAME = "NAME"              # name test
+FUNCTION = "FUNCTION"      # name followed by (
+NODETYPE = "NODETYPE"      # node/text/comment/processing-instruction + (
+LITERAL = "LITERAL"
+NUMBER = "NUMBER"
+VARIABLE = "VARIABLE"      # $name
+EOF = "EOF"
+
+_OPERATOR_NAMES = {"and": AND, "or": OR, "div": DIV, "mod": MOD}
+_NODE_TYPES = {"node", "text", "comment", "processing-instruction"}
+
+# Token kinds after which an NCName / * must be interpreted as a name
+# test (not an operator).  Per the spec: "if there is no preceding
+# token, or the preceding token is @, ::, (, [, ',' or an Operator".
+_OPERAND_EXPECTED_AFTER = {
+    None, AT, AXIS, LPAREN, LBRACKET, COMMA, SLASH, DOUBLE_SLASH,
+    AND, OR, DIV, MOD, MULTIPLY, PIPE, PLUS, MINUS,
+    EQ, NEQ, LT, LE, GT, GE,
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+_DIGITS = set("0123456789")
+
+
+class Token:
+    """A single lexical token with its source offset."""
+
+    __slots__ = ("kind", "value", "offset")
+
+    def __init__(self, kind, value, offset):
+        self.kind = kind
+        self.value = value
+        self.offset = offset
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, @{self.offset})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Token)
+            and (self.kind, self.value) == (other.kind, other.value)
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.value))
+
+
+def _read_name(source, i):
+    """Read an NCName (allowing interior hyphens/dots) starting at *i*."""
+    j = i + 1
+    n = len(source)
+    while j < n and source[j] in _NAME_CHARS:
+        j += 1
+    # A name must not end with '.' followed by a digit run that we
+    # should have lexed as part of the name anyway; names like
+    # "processing-instruction" contain '-', which is fine.
+    return source[i:j], j
+
+
+def tokenize(source):
+    """Tokenize *source*, returning a list of :class:`Token`.
+
+    The list always ends with an ``EOF`` token.  Raises
+    :class:`XPathSyntaxError` on illegal characters.
+    """
+    tokens = []
+    previous_kind = None
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        start = i
+        if ch == "/":
+            if source.startswith("//", i):
+                tokens.append(Token(DOUBLE_SLASH, "//", start))
+                i += 2
+            else:
+                tokens.append(Token(SLASH, "/", start))
+                i += 1
+        elif ch == "[":
+            tokens.append(Token(LBRACKET, "[", start))
+            i += 1
+        elif ch == "]":
+            tokens.append(Token(RBRACKET, "]", start))
+            i += 1
+        elif ch == "(":
+            tokens.append(Token(LPAREN, "(", start))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token(RPAREN, ")", start))
+            i += 1
+        elif ch == "@":
+            tokens.append(Token(AT, "@", start))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token(COMMA, ",", start))
+            i += 1
+        elif ch == "|":
+            tokens.append(Token(PIPE, "|", start))
+            i += 1
+        elif ch == "+":
+            tokens.append(Token(PLUS, "+", start))
+            i += 1
+        elif ch == "-":
+            tokens.append(Token(MINUS, "-", start))
+            i += 1
+        elif ch == "=":
+            tokens.append(Token(EQ, "=", start))
+            i += 1
+        elif ch == "!":
+            if source.startswith("!=", i):
+                tokens.append(Token(NEQ, "!=", start))
+                i += 2
+            else:
+                raise XPathSyntaxError("unexpected '!'", start)
+        elif ch == "<":
+            if source.startswith("<=", i):
+                tokens.append(Token(LE, "<=", start))
+                i += 2
+            else:
+                tokens.append(Token(LT, "<", start))
+                i += 1
+        elif ch == ">":
+            if source.startswith(">=", i):
+                tokens.append(Token(GE, ">=", start))
+                i += 2
+            else:
+                tokens.append(Token(GT, ">", start))
+                i += 1
+        elif ch == "." and (i + 1 >= n or source[i + 1] not in _DIGITS):
+            if source.startswith("..", i):
+                tokens.append(Token(DOTDOT, "..", start))
+                i += 2
+            else:
+                tokens.append(Token(DOT, ".", start))
+                i += 1
+        elif ch in "'\"":
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", start)
+            tokens.append(Token(LITERAL, source[i + 1:end], start))
+            i = end + 1
+        elif ch in _DIGITS or ch == ".":
+            j = i
+            while j < n and source[j] in _DIGITS:
+                j += 1
+            if j < n and source[j] == ".":
+                j += 1
+                while j < n and source[j] in _DIGITS:
+                    j += 1
+            tokens.append(Token(NUMBER, float(source[i:j]), start))
+            i = j
+        elif ch == "$":
+            if i + 1 >= n or source[i + 1] not in _NAME_START:
+                raise XPathSyntaxError("expected a variable name after '$'", start)
+            name, i = _read_name(source, i + 1)
+            tokens.append(Token(VARIABLE, name, start))
+        elif ch == "*":
+            if previous_kind in _OPERAND_EXPECTED_AFTER:
+                tokens.append(Token(STAR, "*", start))
+            else:
+                tokens.append(Token(MULTIPLY, "*", start))
+            i += 1
+        elif ch in _NAME_START:
+            name, i = _read_name(source, i)
+            lowered = name.lower()
+            if (
+                previous_kind not in _OPERAND_EXPECTED_AFTER
+                and lowered in _OPERATOR_NAMES
+            ):
+                tokens.append(Token(_OPERATOR_NAMES[lowered], lowered, start))
+            else:
+                # Look ahead past whitespace for '(' or '::'.
+                j = i
+                while j < n and source[j] in " \t\r\n":
+                    j += 1
+                if source.startswith("::", j):
+                    tokens.append(Token(AXIS, name, start))
+                    i = j + 2
+                elif j < n and source[j] == "(":
+                    if name in _NODE_TYPES:
+                        tokens.append(Token(NODETYPE, name, start))
+                    else:
+                        tokens.append(Token(FUNCTION, name, start))
+                    # Leave the '(' itself to be tokenized normally.
+                    i = j
+                else:
+                    tokens.append(Token(NAME, name, start))
+        else:
+            raise XPathSyntaxError(f"illegal character {ch!r}", start)
+        previous_kind = tokens[-1].kind
+    tokens.append(Token(EOF, None, n))
+    return tokens

@@ -1,0 +1,64 @@
+"""Mini-XSLT engine and the QEG code generator.
+
+The paper drives query-evaluate-gather with XSLT because XPath alone
+cannot express "copy what is present and mark what is missing"
+(Section 2).  This package provides a namespace-free XSLT 1.0 subset
+with an explicit, measurable compile stage, plus the query-to-program
+code generator and the fast-creation optimization of Section 4.
+"""
+
+from repro.xslt.ast import (
+    ApplyTemplates,
+    AttributeCtor,
+    Choose,
+    Copy,
+    CopyOf,
+    ElementCtor,
+    ForEach,
+    If,
+    LiteralElement,
+    Template,
+    TextCtor,
+    ValueOf,
+)
+from repro.xslt.compiler import Stylesheet, compile_stylesheet
+from repro.xslt.errors import StylesheetError, TransformError, XsltError
+from repro.xslt.pattern import MatchPattern
+from repro.xslt.qeg_codegen import (
+    ASK_TAG,
+    FastQEGCodegen,
+    create_naive,
+    generate_qeg_stylesheet,
+    run_qeg_stylesheet,
+    subquery_strings,
+)
+from repro.xslt.runtime import TransformContext, transform
+
+__all__ = [
+    "compile_stylesheet",
+    "Stylesheet",
+    "MatchPattern",
+    "TransformContext",
+    "transform",
+    "Template",
+    "ApplyTemplates",
+    "ValueOf",
+    "Copy",
+    "CopyOf",
+    "ElementCtor",
+    "AttributeCtor",
+    "TextCtor",
+    "LiteralElement",
+    "If",
+    "Choose",
+    "ForEach",
+    "generate_qeg_stylesheet",
+    "create_naive",
+    "FastQEGCodegen",
+    "run_qeg_stylesheet",
+    "subquery_strings",
+    "ASK_TAG",
+    "XsltError",
+    "StylesheetError",
+    "TransformError",
+]

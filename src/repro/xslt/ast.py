@@ -1,0 +1,144 @@
+"""Instruction set of the mini-XSLT engine.
+
+A namespace-free dialect of XSLT 1.0 covering what QEG programs need:
+template rules with match patterns and modes, ``apply-templates``,
+``value-of``, ``copy``, ``copy-of``, ``element``/``attribute``
+constructors, literal result elements, ``if`` and ``choose``.
+
+Select/test expressions are XPath, compiled by :mod:`repro.xpath`; the
+explicit compile stage is what the paper's "naive vs fast XSLT
+creation" optimization is about, so compilation cost is a first-class
+concern here.
+"""
+
+
+class Instruction:
+    """Base class for body instructions."""
+
+    __slots__ = ()
+
+
+class ApplyTemplates(Instruction):
+    """Apply matching templates to the selected nodes (default: children)."""
+
+    __slots__ = ("select", "mode")
+
+    def __init__(self, select=None, mode=None):
+        self.select = select  # compiled XPath or None
+        self.mode = mode
+
+
+class ValueOf(Instruction):
+    """Emit the string value of an expression as text."""
+
+    __slots__ = ("select",)
+
+    def __init__(self, select):
+        self.select = select
+
+
+class Copy(Instruction):
+    """Shallow-copy the context node (tag + attributes), then run *body*."""
+
+    __slots__ = ("body",)
+
+    def __init__(self, body):
+        self.body = body
+
+
+class CopyOf(Instruction):
+    """Deep-copy the nodes selected by an expression."""
+
+    __slots__ = ("select",)
+
+    def __init__(self, select):
+        self.select = select
+
+
+class ElementCtor(Instruction):
+    """Construct an element with a fixed name and a *body*."""
+
+    __slots__ = ("name", "body")
+
+    def __init__(self, name, body):
+        self.name = name
+        self.body = body
+
+
+class AttributeCtor(Instruction):
+    """Attach an attribute (value from an expression or literal text)."""
+
+    __slots__ = ("name", "select", "text")
+
+    def __init__(self, name, select=None, text=None):
+        self.name = name
+        self.select = select
+        self.text = text
+
+
+class TextCtor(Instruction):
+    """Emit literal text."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        self.text = text
+
+
+class LiteralElement(Instruction):
+    """A literal result element copied to the output, with a *body*."""
+
+    __slots__ = ("tag", "attributes", "body")
+
+    def __init__(self, tag, attributes, body):
+        self.tag = tag
+        self.attributes = attributes
+        self.body = body
+
+
+class If(Instruction):
+    """Run *body* when the test expression is true."""
+
+    __slots__ = ("test", "body")
+
+    def __init__(self, test, body):
+        self.test = test
+        self.body = body
+
+
+class Choose(Instruction):
+    """First matching ``when`` wins; *otherwise* may be empty."""
+
+    __slots__ = ("whens", "otherwise")
+
+    def __init__(self, whens, otherwise):
+        self.whens = whens  # list of (test, body)
+        self.otherwise = otherwise
+
+
+class ForEach(Instruction):
+    """Run *body* once per selected node (as the context node)."""
+
+    __slots__ = ("select", "body")
+
+    def __init__(self, select, body):
+        self.select = select
+        self.body = body
+
+
+class Template:
+    """One template rule: match pattern + mode + body."""
+
+    __slots__ = ("pattern", "mode", "priority", "body")
+
+    def __init__(self, pattern, mode, priority, body):
+        self.pattern = pattern  # a compiled MatchPattern
+        self.mode = mode
+        self.priority = priority
+        self.body = body
+
+    def __repr__(self):
+        return (
+            f"Template(match={self.pattern.source!r}, mode={self.mode!r}, "
+            f"priority={self.priority})"
+        )

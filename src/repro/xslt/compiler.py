@@ -1,0 +1,173 @@
+"""Stylesheet parsing and compilation.
+
+A stylesheet is written in the namespace-free XSLT dialect::
+
+    <stylesheet>
+      <template match="block" mode="2">
+        <choose>
+          <when test="@status='incomplete'">
+            <asksubquery><attribute name="step" select="'2'"/></asksubquery>
+          </when>
+          <otherwise>
+            <copy><apply-templates select="*" mode="3"/></copy>
+          </otherwise>
+        </choose>
+      </template>
+    </stylesheet>
+
+Compilation parses every match pattern and select/test expression; it
+is the measurable cost the paper's fast-creation optimization attacks
+(Section 4, "Speeding up XSLT processing").
+"""
+
+from repro.xmlkit.nodes import Text
+from repro.xmlkit.parser import parse_fragment
+from repro.xpath import parser as xpath_parser
+from repro.xslt.ast import (
+    ApplyTemplates,
+    AttributeCtor,
+    Choose,
+    Copy,
+    CopyOf,
+    ElementCtor,
+    ForEach,
+    If,
+    LiteralElement,
+    Template,
+    TextCtor,
+    ValueOf,
+)
+from repro.xslt.errors import StylesheetError
+from repro.xslt.pattern import MatchPattern
+
+_CONTROL_TAGS = {
+    "template", "apply-templates", "value-of", "copy", "copy-of",
+    "element", "attribute", "text", "if", "choose", "when", "otherwise",
+    "for-each", "stylesheet", "transform",
+}
+
+
+class Stylesheet:
+    """A compiled stylesheet: ordered template rules by mode."""
+
+    def __init__(self, templates):
+        self.templates = templates
+        self._by_mode = {}
+        for position, template in enumerate(templates):
+            bucket = self._by_mode.setdefault(template.mode, [])
+            bucket.append((template.priority, position, template))
+        for bucket in self._by_mode.values():
+            # Highest priority first; among equals, the later definition
+            # wins (XSLT's last-rule conflict resolution).
+            bucket.sort(key=lambda item: (item[0], item[1]), reverse=True)
+
+    def find_template(self, node, mode=None):
+        """The best matching template for *node* in *mode* (or ``None``)."""
+        for _priority, _pos, template in self._by_mode.get(mode, ()):
+            if template.pattern.matches(node):
+                return template
+        return None
+
+    def __repr__(self):
+        return f"Stylesheet(templates={len(self.templates)})"
+
+
+def compile_stylesheet(source):
+    """Compile a stylesheet from XML text or a parsed element."""
+    root = parse_fragment(source) if isinstance(source, str) else source
+    if root.tag not in ("stylesheet", "transform"):
+        raise StylesheetError(
+            f"expected a <stylesheet> root, found <{root.tag}>"
+        )
+    templates = []
+    for child in root.element_children():
+        if child.tag != "template":
+            raise StylesheetError(
+                f"only <template> allowed at the top level, found "
+                f"<{child.tag}>"
+            )
+        match = child.get("match")
+        if match is None:
+            raise StylesheetError("<template> requires a match attribute")
+        pattern = MatchPattern(match)
+        priority = child.get("priority")
+        templates.append(Template(
+            pattern=pattern,
+            mode=child.get("mode"),
+            priority=(float(priority) if priority is not None
+                      else pattern.default_priority),
+            body=_compile_body(child),
+        ))
+    return Stylesheet(templates)
+
+
+def _compile_expression(source, where):
+    try:
+        return xpath_parser.parse(source)
+    except Exception as exc:
+        raise StylesheetError(f"bad expression in {where}: {exc}") from exc
+
+
+def _compile_body(element):
+    body = []
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip():
+                body.append(TextCtor(child.value))
+            continue
+        body.append(_compile_instruction(child))
+    return body
+
+
+def _compile_instruction(element):
+    tag = element.tag
+    if tag == "apply-templates":
+        select = element.get("select")
+        return ApplyTemplates(
+            select=_compile_expression(select, tag) if select else None,
+            mode=element.get("mode"),
+        )
+    if tag == "value-of":
+        return ValueOf(_compile_expression(element.get("select"), tag))
+    if tag == "copy":
+        return Copy(_compile_body(element))
+    if tag == "copy-of":
+        return CopyOf(_compile_expression(element.get("select"), tag))
+    if tag == "element":
+        return ElementCtor(element.get("name"), _compile_body(element))
+    if tag == "attribute":
+        select = element.get("select")
+        return AttributeCtor(
+            element.get("name"),
+            select=_compile_expression(select, tag) if select else None,
+            text=element.text,
+        )
+    if tag == "text":
+        return TextCtor(element.text or "")
+    if tag == "if":
+        return If(_compile_expression(element.get("test"), tag),
+                  _compile_body(element))
+    if tag == "choose":
+        whens = []
+        otherwise = []
+        for child in element.element_children():
+            if child.tag == "when":
+                whens.append((
+                    _compile_expression(child.get("test"), "when"),
+                    _compile_body(child),
+                ))
+            elif child.tag == "otherwise":
+                otherwise = _compile_body(child)
+            else:
+                raise StylesheetError(
+                    f"<choose> may only contain when/otherwise, found "
+                    f"<{child.tag}>"
+                )
+        return Choose(whens, otherwise)
+    if tag == "for-each":
+        return ForEach(_compile_expression(element.get("select"), tag),
+                       _compile_body(element))
+    if tag in _CONTROL_TAGS:
+        raise StylesheetError(f"<{tag}> not allowed here")
+    # A literal result element.
+    return LiteralElement(tag, dict(element.attrib), _compile_body(element))

@@ -1,0 +1,13 @@
+"""Exception hierarchy for the mini-XSLT engine."""
+
+
+class XsltError(Exception):
+    """Base class for all errors raised by :mod:`repro.xslt`."""
+
+
+class StylesheetError(XsltError):
+    """Raised when a stylesheet is malformed."""
+
+
+class TransformError(XsltError):
+    """Raised when applying a stylesheet to a document fails."""

@@ -1,0 +1,123 @@
+"""XSLT match patterns.
+
+A pattern matches a node if the node satisfies the pattern's last step
+and its ancestors satisfy the preceding steps (anchored at the document
+root for absolute patterns, anywhere otherwise) -- XSLT 1.0 semantics
+restricted to child/``//`` axes, which is all template rules need.
+"""
+
+from repro.xmlkit.nodes import Document, Element, Text
+from repro.xpath import parser as xpath_parser
+from repro.xpath.ast import LocationPath, NameTest, NodeTypeTest
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.types import to_boolean
+from repro.xslt.errors import StylesheetError
+
+_EVALUATOR = Evaluator()
+
+
+class MatchPattern:
+    """A compiled match pattern."""
+
+    def __init__(self, source):
+        self.source = source
+        if source == "/":
+            self.root_pattern = True
+            self.absolute = True
+            self.steps = []
+            return
+        self.root_pattern = False
+        ast = xpath_parser.parse(source)
+        if not isinstance(ast, LocationPath):
+            raise StylesheetError(f"invalid match pattern {source!r}")
+        self.absolute = ast.absolute
+        self.steps = ast.steps
+        for step in self.steps:
+            if step.axis not in ("child", "descendant-or-self", "attribute"):
+                raise StylesheetError(
+                    f"axis {step.axis!r} not allowed in match patterns"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def default_priority(self):
+        """XSLT-style default priorities for conflict resolution."""
+        if self.root_pattern:
+            return 0.5
+        if len(self.steps) > 1 or self.steps[0].predicates:
+            return 0.5
+        test = self.steps[0].node_test
+        if isinstance(test, NameTest):
+            return -0.25 if test.name == "*" else 0.0
+        return -0.5  # node type tests
+
+    # ------------------------------------------------------------------
+    def matches(self, node):
+        if self.root_pattern:
+            return isinstance(node, Document)
+        if isinstance(node, Document):
+            return False
+        return self._match_suffix(node, len(self.steps) - 1)
+
+    def _match_suffix(self, node, index):
+        while index >= 0 and self._is_gap(self.steps[index]):
+            # A trailing // gap just relaxes anchoring of what precedes.
+            index -= 1
+        if index < 0:
+            return not self.absolute or node is None or \
+                isinstance(node, Document)
+        if node is None or isinstance(node, Document):
+            return False
+        if not self._step_matches(self.steps[index], node):
+            return False
+        parent = node.parent
+        previous = index - 1
+        if previous < 0:
+            if not self.absolute:
+                return True
+            return parent is None  # anchored at the root element
+        if self._is_gap(self.steps[previous]):
+            # '//': some ancestor (or the anchor point) must match the
+            # rest of the pattern.
+            target = previous - 1
+            if target < 0:
+                return True
+            ancestor = parent
+            while ancestor is not None:
+                if self._match_suffix(ancestor, target):
+                    return True
+                ancestor = ancestor.parent
+            return not self.absolute and False
+        return parent is not None and self._match_suffix(parent, previous)
+
+    @staticmethod
+    def _is_gap(step):
+        return (
+            step.axis == "descendant-or-self"
+            and isinstance(step.node_test, NodeTypeTest)
+            and step.node_test.node_type == "node"
+            and not step.predicates
+        )
+
+    @staticmethod
+    def _step_matches(step, node):
+        test = step.node_test
+        if isinstance(node, Text):
+            ok = isinstance(test, NodeTypeTest) and \
+                test.node_type in ("text", "node")
+        elif isinstance(node, Element):
+            if isinstance(test, NameTest):
+                ok = test.matches(node.tag)
+            else:
+                ok = test.node_type == "node"
+        else:
+            ok = False
+        if not ok:
+            return False
+        for predicate in step.predicates:
+            if not to_boolean(_EVALUATOR.evaluate(predicate, node)):
+                return False
+        return True
+
+    def __repr__(self):
+        return f"MatchPattern({self.source!r})"

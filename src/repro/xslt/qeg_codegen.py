@@ -1,0 +1,253 @@
+"""Generating QEG programs (stylesheets) from XPATH queries.
+
+This is the paper's Section 3.5 mechanism in its original clothing:
+given a query, emit an XSLT program that walks the site document,
+dispatches on each node's ``status`` attribute, copies the data that
+belongs to the answer and plants ``<asksubquery/>`` placeholders where
+remote data is needed.  A post-processing step extracts the subqueries
+from the annotated output.
+
+Two creation paths are provided, mirroring Section 4's "Speeding up
+XSLT processing":
+
+* :func:`generate_qeg_stylesheet` + :func:`repro.xslt.compiler.compile_stylesheet`
+  -- the **naive** path, generating and compiling a fresh program per
+  query;
+* :class:`FastQEGCodegen` -- the **fast** path: programs are compiled
+  once per query *shape* with the id values abstracted into XSLT
+  variables; creating the program for a concrete query then costs only
+  a variable binding, exactly the paper's "identify the parts of the
+  compiled query that depend on the XPATH query and set them directly".
+
+The generated programs cover the depth-0, child-axis, separable-
+predicate fragment (the paper's base case); the Python walker in
+:mod:`repro.core.qeg` is the engine's general implementation, and the
+test suite checks the two agree on this shared fragment.
+"""
+
+from repro.core.subquery import render_residual_query
+from repro.xmlkit.nodes import Element
+from repro.xmlkit.serializer import escape_attribute
+from repro.xslt.compiler import compile_stylesheet
+from repro.xslt.errors import StylesheetError
+from repro.xslt.runtime import TransformContext
+
+ASK_TAG = "asksubquery"
+
+
+def _conjunction(predicates):
+    return " and ".join(f"({p.unparse()})" for p in predicates)
+
+
+def _pid_test(item, bindings=None, item_index=None):
+    """The P_id test, optionally with literals lifted into variables."""
+    parts = []
+    for pred_index, predicate in enumerate(item.split.id_predicates):
+        source = predicate.unparse()
+        if bindings is not None:
+            from repro.xpath.analysis import single_id_value
+
+            value = single_id_value(item.step)
+            if value is not None and source == f"@id = '{value}'":
+                name = f"id_{item_index}_{pred_index}"
+                bindings[name] = value
+                source = f"@id = ${name}"
+        parts.append(f"({source})")
+    return " and ".join(parts)
+
+
+def generate_qeg_stylesheet(pattern, variables=None):
+    """Generate the QEG stylesheet XML for *pattern*.
+
+    With *variables* (a dict to fill), single-value id predicates are
+    replaced by variable references and their values recorded -- the
+    fast-creation shape abstraction.
+    """
+    items = pattern.items
+    for item in items:
+        if item.descendant:
+            raise StylesheetError(
+                "the XSLT code generator covers child-axis queries; use "
+                "the core walker for // queries"
+            )
+        if not item.split.separable:
+            raise StylesheetError(
+                "unseparable predicates require the core walker"
+            )
+    lines = ["<stylesheet>"]
+    root_tag = items[0].step.node_test.unparse() if items else "*"
+    lines.append(
+        f'<template match="/">'
+        f'<apply-templates select="{escape_attribute(root_tag)}" '
+        f'mode="m0"/></template>'
+    )
+    for index, item in enumerate(items):
+        lines.append(_item_template(pattern, index, item, variables))
+    lines.append("</stylesheet>")
+    return "".join(lines)
+
+
+def _item_template(pattern, index, item, variables):
+    tag = item.step.node_test.unparse()
+    is_result = index + 1 == len(pattern.items)
+    pid = _pid_test(item, variables, index)
+    rest = _conjunction(item.split.rest_predicates)
+    consistency = _conjunction(item.split.consistency_predicates)
+
+    ask = f'<copy><{ASK_TAG} step="{index}"/></copy>'
+    whens = []
+    if pid:
+        whens.append(f'<when test="not({escape_attribute_text(pid)})"/>')
+    whens.append(
+        f'<when test="@status=\'incomplete\'">{ask}</when>'
+    )
+    if is_result or rest or consistency:
+        whens.append(f'<when test="@status=\'id-complete\'">{ask}</when>')
+    else:
+        whens.append(
+            f'<when test="@status=\'id-complete\'">'
+            f'<copy><apply-templates select="*" mode="m{index + 1}"/></copy>'
+            f'</when>'
+        )
+
+    # owned/complete: evaluate the rest predicates over local information.
+    inner = []
+    if is_result:
+        success = '<copy-of select="."/>'
+    else:
+        success = (
+            f'<copy><apply-templates select="*" mode="m{index + 1}"/></copy>'
+        )
+    if consistency:
+        # A stale cached copy turns into a subquery; the owner ignores
+        # freshness (its copy is the freshest there is).
+        stale_guard = (
+            f'<choose>'
+            f'<when test="@status=\'complete\' and '
+            f'not({escape_attribute_text(consistency)})">{ask}</when>'
+            f'<otherwise>{success}</otherwise>'
+            f'</choose>'
+        )
+    else:
+        stale_guard = success
+    if rest:
+        inner.append(
+            f'<if test="{escape_attribute_text(rest)}">{stale_guard}</if>'
+        )
+    else:
+        inner.append(stale_guard)
+    whens.append(f"<otherwise>{''.join(inner)}</otherwise>")
+
+    return (
+        f'<template match="{escape_attribute(tag)}" mode="m{index}">'
+        f'<choose>{"".join(whens)}</choose>'
+        f'</template>'
+    )
+
+
+def escape_attribute_text(text):
+    return escape_attribute(text)
+
+
+# ----------------------------------------------------------------------
+# Creation paths
+# ----------------------------------------------------------------------
+def create_naive(pattern):
+    """Naive creation: generate and compile a fresh program.
+
+    Returns ``(stylesheet, variables)`` with an empty binding.
+    """
+    xml = generate_qeg_stylesheet(pattern)
+    return compile_stylesheet(xml), {}
+
+
+class FastQEGCodegen:
+    """Fast creation: compile once per query shape, bind ids per query."""
+
+    def __init__(self):
+        self._cache = {}
+        self.stats = {"hits": 0, "misses": 0}
+
+    @staticmethod
+    def shape_key(pattern):
+        return tuple(
+            (
+                item.step.node_test.unparse(),
+                len(item.split.id_predicates),
+                tuple(p.unparse() for p in item.split.rest_predicates),
+                tuple(p.unparse() for p in item.split.consistency_predicates),
+            )
+            for item in pattern.items
+        )
+
+    def create(self, pattern):
+        """Returns ``(stylesheet, variables)`` for *pattern*."""
+        key = self.shape_key(pattern)
+        cached = self._cache.get(key)
+        variables = {}
+        if cached is None:
+            self.stats["misses"] += 1
+            xml = generate_qeg_stylesheet(pattern, variables)
+            stylesheet = compile_stylesheet(xml)
+            self._cache[key] = stylesheet
+            return stylesheet, variables
+        self.stats["hits"] += 1
+        # Re-derive the bindings only (no compilation).
+        generate_bindings(pattern, variables)
+        return cached, variables
+
+
+def generate_bindings(pattern, variables):
+    """Fill the id-variable bindings for a shape-cached stylesheet."""
+    from repro.xpath.analysis import single_id_value
+
+    for item_index, item in enumerate(pattern.items):
+        for pred_index, predicate in enumerate(item.split.id_predicates):
+            value = single_id_value(item.step)
+            if value is not None and \
+                    predicate.unparse() == f"@id = '{value}'":
+                variables[f"id_{item_index}_{pred_index}"] = value
+    return variables
+
+
+# ----------------------------------------------------------------------
+# Running a QEG program and post-processing its output
+# ----------------------------------------------------------------------
+def run_qeg_stylesheet(stylesheet, database, variables=None, now=None):
+    """Apply a QEG program to a site document.
+
+    Returns ``(annotated answer roots, subqueries)`` where subqueries
+    are reconstructed from the ``asksubquery`` placeholders exactly as
+    the paper's post-processing step does.
+    """
+    context = TransformContext(stylesheet, variables=variables, now=now)
+    roots = context.transform(database.root)
+    subqueries = []
+    for root in roots:
+        if isinstance(root, Element):
+            _collect_subqueries(root, [], subqueries)
+    return roots, subqueries
+
+
+def _collect_subqueries(element, path, out):
+    identifier = element.attrib.get("id")
+    here = path + [(element.tag, identifier)]
+    for child in list(element.element_children()):
+        if child.tag == ASK_TAG:
+            out.append((tuple(here), int(child.get("step"))))
+            element.remove(child)
+        else:
+            _collect_subqueries(child, here, out)
+
+
+def subquery_strings(pattern, placeholders):
+    """Render placeholder records into the same strings the core walker
+    produces, via the shared :func:`render_residual_query`."""
+    rendered = []
+    for id_path, step_index in placeholders:
+        item = pattern.items[step_index]
+        rendered.append(render_residual_query(
+            id_path, item.residual_predicates,
+            pattern.items[step_index + 1:],
+        ))
+    return rendered

@@ -1,0 +1,198 @@
+"""Executing a compiled stylesheet against a document."""
+
+from repro.xmlkit.nodes import Document, Element, Text
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.types import AttributeRef, to_boolean, to_string
+from repro.xslt.ast import (
+    ApplyTemplates,
+    AttributeCtor,
+    Choose,
+    Copy,
+    CopyOf,
+    ElementCtor,
+    ForEach,
+    If,
+    LiteralElement,
+    TextCtor,
+    ValueOf,
+)
+from repro.xslt.errors import TransformError
+
+_EVALUATOR = Evaluator()
+
+
+class _Output:
+    """An output tree under construction."""
+
+    def __init__(self):
+        self.roots = []
+        self.stack = []
+
+    def append_node(self, node):
+        if self.stack:
+            self.stack[-1].append(node)
+        else:
+            self.roots.append(node)
+        return node
+
+    def append_text(self, text):
+        if not text:
+            return
+        self.append_node(Text(text))
+
+    def push(self, element):
+        self.append_node(element)
+        self.stack.append(element)
+
+    def pop(self):
+        self.stack.pop()
+
+    def current(self):
+        return self.stack[-1] if self.stack else None
+
+
+class TransformContext:
+    """One transform run: stylesheet + evaluator state."""
+
+    def __init__(self, stylesheet, variables=None, now=None):
+        self.stylesheet = stylesheet
+        self.variables = variables or {}
+        self.now = now
+
+    # ------------------------------------------------------------------
+    def transform(self, document):
+        """Apply the stylesheet to *document*; returns the output roots."""
+        if isinstance(document, Element):
+            document = Document(document)
+        output = _Output()
+        self._apply_to([document], None, output)
+        return output.roots
+
+    def transform_to_element(self, document, wrapper="result"):
+        """Transform and wrap the output in a single element."""
+        roots = self.transform(document)
+        if len(roots) == 1 and isinstance(roots[0], Element):
+            return roots[0]
+        holder = Element(wrapper)
+        for node in roots:
+            holder.append(node)
+        return holder
+
+    # ------------------------------------------------------------------
+    def _apply_to(self, nodes, mode, output):
+        for node in nodes:
+            template = self.stylesheet.find_template(node, mode)
+            if template is not None:
+                self._execute(template.body, node, output)
+            else:
+                self._builtin(node, mode, output)
+
+    def _builtin(self, node, mode, output):
+        """XSLT's built-in rules: recurse through elements, copy text."""
+        if isinstance(node, Document):
+            self._apply_to([node.root], mode, output)
+        elif isinstance(node, Element):
+            self._apply_to(list(node.children), mode, output)
+        elif isinstance(node, Text):
+            output.append_text(node.value)
+        elif isinstance(node, AttributeRef):
+            output.append_text(node.value)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, expression, node):
+        return _EVALUATOR.evaluate(expression, node,
+                                   variables=self.variables, now=self.now)
+
+    def _execute(self, body, node, output):
+        for instruction in body:
+            self._execute_one(instruction, node, output)
+
+    def _execute_one(self, instruction, node, output):
+        if isinstance(instruction, TextCtor):
+            output.append_text(instruction.text)
+        elif isinstance(instruction, ValueOf):
+            output.append_text(to_string(self._evaluate(instruction.select,
+                                                        node)))
+        elif isinstance(instruction, ApplyTemplates):
+            if instruction.select is not None:
+                selected = self._evaluate(instruction.select, node)
+                if not isinstance(selected, list):
+                    raise TransformError(
+                        "apply-templates select must return a node-set"
+                    )
+            else:
+                selected = (list(node.children)
+                            if isinstance(node, Element)
+                            else [node.root] if isinstance(node, Document)
+                            else [])
+            self._apply_to(selected, instruction.mode, output)
+        elif isinstance(instruction, Copy):
+            if isinstance(node, Element):
+                clone = Element(node.tag, attrib=node.attrib)
+                output.push(clone)
+                self._execute(instruction.body, node, output)
+                output.pop()
+            elif isinstance(node, Text):
+                output.append_text(node.value)
+            elif isinstance(node, Document):
+                self._execute(instruction.body, node, output)
+        elif isinstance(instruction, CopyOf):
+            value = self._evaluate(instruction.select, node)
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Element):
+                        output.append_node(item.copy())
+                    elif isinstance(item, Text):
+                        output.append_text(item.value)
+                    elif isinstance(item, AttributeRef):
+                        current = output.current()
+                        if current is not None:
+                            current.set(item.name, item.value)
+            else:
+                output.append_text(to_string(value))
+        elif isinstance(instruction, ElementCtor):
+            element = Element(instruction.name)
+            output.push(element)
+            self._execute(instruction.body, node, output)
+            output.pop()
+        elif isinstance(instruction, AttributeCtor):
+            current = output.current()
+            if current is None:
+                raise TransformError(
+                    "attribute constructor outside an element"
+                )
+            if instruction.select is not None:
+                value = to_string(self._evaluate(instruction.select, node))
+            else:
+                value = instruction.text or ""
+            current.set(instruction.name, value)
+        elif isinstance(instruction, If):
+            if to_boolean(self._evaluate(instruction.test, node)):
+                self._execute(instruction.body, node, output)
+        elif isinstance(instruction, Choose):
+            for test, body in instruction.whens:
+                if to_boolean(self._evaluate(test, node)):
+                    self._execute(body, node, output)
+                    return
+            self._execute(instruction.otherwise, node, output)
+        elif isinstance(instruction, ForEach):
+            selected = self._evaluate(instruction.select, node)
+            if not isinstance(selected, list):
+                raise TransformError("for-each select must return a node-set")
+            for item in selected:
+                self._execute(instruction.body, item, output)
+        elif isinstance(instruction, LiteralElement):
+            element = Element(instruction.tag, attrib=instruction.attributes)
+            output.push(element)
+            self._execute(instruction.body, node, output)
+            output.pop()
+        else:
+            raise TransformError(
+                f"unknown instruction {type(instruction).__name__}"
+            )
+
+
+def transform(stylesheet, document, variables=None, now=None):
+    """One-shot transform; returns the list of output root nodes."""
+    return TransformContext(stylesheet, variables=variables,
+                            now=now).transform(document)

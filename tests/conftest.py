@@ -1,0 +1,121 @@
+"""Shared fixtures: paper-figure documents and small deployments."""
+
+import pytest
+
+from repro.core import HierarchySchema, PartitionPlan
+from repro.net import Cluster
+from repro.xmlkit import parse_fragment
+
+#: The document of the paper's Figures 3/4, extended with a second
+#: neighborhood and city so multi-site scenarios are interesting.
+PAPER_DOCUMENT = """
+<usRegion id='NE'>
+  <state id='PA'>
+    <county id='Allegheny'>
+      <city id='Pittsburgh'>
+        <neighborhood id='Oakland' zipcode='15213'>
+          <available-spaces>8</available-spaces>
+          <block id='1'>
+            <parkingSpace id='1'>
+              <available>yes</available><price>25</price>
+            </parkingSpace>
+            <parkingSpace id='2'>
+              <available>no</available><price>0</price>
+            </parkingSpace>
+          </block>
+          <block id='2'>
+            <parkingSpace id='1'>
+              <available>yes</available><price>0</price>
+            </parkingSpace>
+          </block>
+        </neighborhood>
+        <neighborhood id='Shadyside' zipcode='15232'>
+          <available-spaces>3</available-spaces>
+          <block id='1'>
+            <parkingSpace id='1'>
+              <available>yes</available><price>50</price>
+            </parkingSpace>
+            <parkingSpace id='2'>
+              <available>yes</available><price>25</price>
+            </parkingSpace>
+          </block>
+        </neighborhood>
+      </city>
+      <city id='Etna'>
+        <neighborhood id='Riverfront' zipcode='15223'>
+          <available-spaces>1</available-spaces>
+          <block id='1'>
+            <parkingSpace id='1'>
+              <available>no</available><price>25</price>
+            </parkingSpace>
+          </block>
+        </neighborhood>
+      </city>
+    </county>
+  </state>
+</usRegion>
+"""
+
+FIGURE2_QUERY = (
+    "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+    "/city[@id='Pittsburgh']"
+    "/neighborhood[@id='Oakland' or @id='Shadyside']"
+    "/block[@id='1']/parkingSpace[available='yes']"
+)
+
+
+def id_path(spec):
+    """``'usRegion=NE/state=PA'`` -> ``(('usRegion','NE'), ('state','PA'))``."""
+    return tuple(tuple(entry.split("=", 1)) for entry in spec.split("/"))
+
+
+PITTSBURGH = id_path(
+    "usRegion=NE/state=PA/county=Allegheny/city=Pittsburgh")
+OAKLAND = PITTSBURGH + (("neighborhood", "Oakland"),)
+SHADYSIDE = PITTSBURGH + (("neighborhood", "Shadyside"),)
+ETNA = id_path("usRegion=NE/state=PA/county=Allegheny/city=Etna")
+
+
+@pytest.fixture
+def paper_doc():
+    """A fresh copy of the paper's example document."""
+    return parse_fragment(PAPER_DOCUMENT)
+
+
+@pytest.fixture
+def paper_schema(paper_doc):
+    return HierarchySchema.from_document(paper_doc)
+
+
+@pytest.fixture
+def paper_plan():
+    """Top / Oakland / Shadyside / Etna on four sites."""
+    return PartitionPlan({
+        "top": [id_path("usRegion=NE")],
+        "oak": [OAKLAND],
+        "shady": [SHADYSIDE],
+        "etna": [ETNA],
+    })
+
+
+@pytest.fixture
+def paper_cluster(paper_doc, paper_plan):
+    """A four-site cluster over the paper document."""
+    return Cluster(paper_doc, paper_plan)
+
+
+@pytest.fixture
+def settable_clock():
+    """A controllable clock: ``clock.now`` is mutable."""
+
+    class _Clock:
+        def __init__(self):
+            self.now = 1000.0
+
+        def __call__(self):
+            return self.now
+
+        def advance(self, seconds):
+            self.now += seconds
+
+    return _Clock()

@@ -1,0 +1,169 @@
+"""Properties of operations: updates and migrations under randomness.
+
+A shadow copy of the global document receives the same logical updates
+the cluster receives through its sensing agents; distributed answers
+must always match a centralized evaluation over the shadow.  Random
+ownership migrations must never change answers or break invariants.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PartitionPlan
+from repro.core.invariants import structural_violations
+from repro.net import Cluster
+from repro.xmlkit import Element, canonical_form
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.parser import parse
+
+_SITES = ["s0", "s1", "s2"]
+
+
+def _build_document(mid_count, leaves_per_mid):
+    root = Element("top", attrib={"id": "R"})
+    for mid_index in range(mid_count):
+        mid = Element("mid", attrib={"id": f"m{mid_index}"})
+        root.append(mid)
+        for leaf_index in range(leaves_per_mid):
+            leaf = Element("leaf", attrib={"id": f"l{leaf_index}"})
+            leaf.append(Element("value", text="0"))
+            mid.append(leaf)
+    return root
+
+
+def _normalized(element):
+    clone = element.copy()
+    for node in clone.iter():
+        node.delete_attribute("timestamp")
+    return canonical_form(clone)
+
+
+def _reference(document, query):
+    matches = Evaluator().evaluate(parse(query), document, now=0.0)
+    return sorted(_normalized(m) for m in matches)
+
+
+@st.composite
+def update_scenarios(draw):
+    mid_count = draw(st.integers(1, 3))
+    leaves = draw(st.integers(1, 3))
+    owners = {
+        f"m{i}": draw(st.sampled_from(_SITES)) for i in range(mid_count)
+    }
+    updates = draw(st.lists(
+        st.tuples(st.integers(0, mid_count - 1),
+                  st.integers(0, leaves - 1),
+                  st.integers(0, 9)),
+        min_size=1, max_size=8,
+    ))
+    return mid_count, leaves, owners, updates
+
+
+def _deploy(mid_count, leaves, owners):
+    document = _build_document(mid_count, leaves)
+    assignments = {site: [] for site in _SITES}
+    assignments["s0"].append((("top", "R"),))
+    for mid_id, site in owners.items():
+        assignments[site].append((("top", "R"), ("mid", mid_id)))
+    cluster = Cluster(document.copy(), PartitionPlan(assignments),
+                      service="ops")
+    return document, cluster
+
+
+class TestUpdateTransparency:
+    @given(update_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_updates_visible_and_consistent(self, scenario):
+        mid_count, leaves, owners, updates = scenario
+        shadow, cluster = _deploy(mid_count, leaves, owners)
+        sa = cluster.add_sensing_agent("sa", [])
+
+        for mid_index, leaf_index, value in updates:
+            path = (("top", "R"), ("mid", f"m{mid_index}"),
+                    ("leaf", f"l{leaf_index}"))
+            sa.send_update(path, values={"value": str(value)})
+            # Mirror on the shadow document.
+            leaf = shadow.child("mid", id=f"m{mid_index}") \
+                .child("leaf", id=f"l{leaf_index}")
+            leaf.child("value").set_text(str(value))
+
+        for mid_index, leaf_index, value in updates[-3:]:
+            query = (f"/top[@id='R']/mid[@id='m{mid_index}']"
+                     f"/leaf[@id='l{leaf_index}']")
+            results, _site, _o = cluster.query(query)
+            got = sorted(_normalized(r) for r in results)
+            assert got == _reference(shadow, query)
+
+        aggregate = "/top[@id='R']//leaf[value > 4]"
+        results, _site, _o = cluster.query(aggregate)
+        assert sorted(_normalized(r) for r in results) == \
+            _reference(shadow, aggregate)
+
+    @given(update_scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_updates_preserve_invariants(self, scenario):
+        mid_count, leaves, owners, updates = scenario
+        _shadow, cluster = _deploy(mid_count, leaves, owners)
+        sa = cluster.add_sensing_agent("sa", [])
+        for mid_index, leaf_index, value in updates:
+            path = (("top", "R"), ("mid", f"m{mid_index}"),
+                    ("leaf", f"l{leaf_index}"))
+            sa.send_update(path, values={"value": str(value)})
+        for site in cluster.sites:
+            assert structural_violations(cluster.database(site)) == []
+
+
+@st.composite
+def migration_scenarios(draw):
+    mid_count = draw(st.integers(1, 3))
+    leaves = draw(st.integers(0, 2))
+    owners = {
+        f"m{i}": draw(st.sampled_from(_SITES)) for i in range(mid_count)
+    }
+    moves = draw(st.lists(
+        st.tuples(st.integers(0, mid_count - 1), st.sampled_from(_SITES)),
+        min_size=1, max_size=5,
+    ))
+    return mid_count, leaves, owners, moves
+
+
+class TestMigrationTransparency:
+    @given(migration_scenarios())
+    @settings(max_examples=30, deadline=None)
+    def test_migrations_keep_answers_and_invariants(self, scenario):
+        mid_count, leaves, owners, moves = scenario
+        shadow, cluster = _deploy(mid_count, leaves, owners)
+        query = "/top[@id='R']/mid"
+        expected = _reference(shadow, query)
+
+        for mid_index, target in moves:
+            path = (("top", "R"), ("mid", f"m{mid_index}"))
+            if cluster.owner_map[path] != target:
+                cluster.delegate(path, target)
+            results, _site, _o = cluster.query(query)
+            assert sorted(_normalized(r) for r in results) == expected
+
+        # I1/I2 hold everywhere, and the owner map matches reality.
+        from repro.core.invariants import ownership_violations
+
+        databases = {s: cluster.database(s) for s in cluster.sites}
+        assert ownership_violations(databases, cluster.owner_map) == []
+        for site in cluster.sites:
+            assert structural_violations(databases[site]) == []
+
+    @given(migration_scenarios())
+    @settings(max_examples=20, deadline=None)
+    def test_updates_after_migration_reach_new_owner(self, scenario):
+        mid_count, leaves, owners, moves = scenario
+        if leaves == 0:
+            return
+        _shadow, cluster = _deploy(mid_count, leaves, owners)
+        sa = cluster.add_sensing_agent("sa", [])
+        for mid_index, target in moves:
+            path = (("top", "R"), ("mid", f"m{mid_index}"))
+            if cluster.owner_map[path] != target:
+                cluster.delegate(path, target)
+            leaf_path = path + (("leaf", "l0"),)
+            sa.send_update(leaf_path, values={"value": "7"})
+            owner = cluster.owner_map[leaf_path]
+            element = cluster.database(owner).find(leaf_path)
+            assert element.child("value").text == "7"

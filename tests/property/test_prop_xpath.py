@@ -1,0 +1,132 @@
+"""Property-based tests for the XPath engine."""
+
+import math
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlkit import Element
+from repro.xpath import compile_xpath, parse
+from repro.xpath.types import compare, to_boolean, to_number, to_string
+
+_tags = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def documents(draw, depth=3):
+    element = Element(draw(_tags), attrib={
+        "id": str(draw(st.integers(0, 9))),
+        "v": str(draw(st.integers(0, 5))),
+    })
+    if depth > 0:
+        for child in draw(st.lists(documents(depth=depth - 1), max_size=3)):
+            element.append(child)
+    return element
+
+
+class TestAxisAlgebra:
+    @given(documents())
+    @settings(max_examples=80, deadline=None)
+    def test_descendants_equals_nested_children(self, doc):
+        via_descendant = compile_xpath("count(//b)").evaluate(doc)
+        manual = float(sum(1 for _ in doc.iter("b")))
+        assert via_descendant == manual
+
+    @given(documents())
+    @settings(max_examples=80, deadline=None)
+    def test_parent_of_child_is_self(self, doc):
+        children = compile_xpath("*").select(doc)
+        for child in children:
+            parents = compile_xpath("..").select(child)
+            assert parents == [doc]
+
+    @given(documents())
+    @settings(max_examples=80, deadline=None)
+    def test_union_is_deduplicated_superset(self, doc):
+        left = compile_xpath("//a").select(doc)
+        right = compile_xpath("//b").select(doc)
+        union = compile_xpath("//a | //b").select(doc)
+        assert len(union) == len(left) + len(right)
+        assert {id(n) for n in union} == \
+            {id(n) for n in left} | {id(n) for n in right}
+
+    @given(documents())
+    @settings(max_examples=80, deadline=None)
+    def test_predicate_filters_subset(self, doc):
+        everything = compile_xpath("//*").select(doc)
+        filtered = compile_xpath("//*[@v='3']").select(doc)
+        identifiers = {id(n) for n in everything}
+        assert all(id(n) in identifiers for n in filtered)
+        assert all(n.get("v") == "3" for n in filtered)
+
+    @given(documents())
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_select_length(self, doc):
+        count = compile_xpath("count(//*[@v='1'])").evaluate(doc)
+        selected = compile_xpath("//*[@v='1']").select(doc)
+        assert count == float(len(selected))
+
+
+class TestUnparseRoundtrip:
+    _queries = st.sampled_from([
+        "/a/b", "//b[@v='1']", "/a[@id='1' or @id='2']/b",
+        "count(//a) + 1", "/a[not(@v='0')]", "//*[@id]",
+        "/a[b][c]", "sum(//a/@v) > 3", "/a/b | /a/c",
+        "/a[count(b) = 2 and @v='1']",
+    ])
+
+    @given(_queries, documents())
+    @settings(max_examples=100, deadline=None)
+    def test_unparse_preserves_semantics(self, query, doc):
+        original = compile_xpath(query)
+        roundtripped = compile_xpath(original.unparse())
+        left = original.evaluate(doc)
+        right = roundtripped.evaluate(doc)
+        if isinstance(left, list):
+            assert [id(n) for n in left] == [id(n) for n in right]
+        elif isinstance(left, float) and math.isnan(left):
+            assert math.isnan(right)
+        else:
+            assert left == right
+
+    @given(_queries)
+    @settings(max_examples=50, deadline=None)
+    def test_unparse_fixpoint(self, query):
+        once = parse(query).unparse()
+        assert parse(once).unparse() == once
+
+
+class TestTypeConversions:
+    scalars = st.one_of(
+        st.booleans(),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(alphabet=string.printable, max_size=10),
+    )
+
+    @given(scalars)
+    @settings(max_examples=100, deadline=None)
+    def test_boolean_of_string_is_nonempty(self, value):
+        if isinstance(value, str):
+            assert to_boolean(value) == (len(value) > 0)
+
+    @given(scalars)
+    @settings(max_examples=100, deadline=None)
+    def test_to_string_to_number_consistent_for_numbers(self, value):
+        if isinstance(value, float):
+            assert to_number(to_string(value)) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=16),
+           st.floats(allow_nan=False, allow_infinity=False, width=16))
+    @settings(max_examples=100, deadline=None)
+    def test_comparison_trichotomy(self, left, right):
+        equal = compare("=", left, right)
+        less = compare("<", left, right)
+        greater = compare(">", left, right)
+        assert sum([equal, less, greater]) == 1
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=16),
+           st.floats(allow_nan=False, allow_infinity=False, width=16))
+    @settings(max_examples=100, deadline=None)
+    def test_comparison_antisymmetry(self, left, right):
+        assert compare("<", left, right) == compare(">", right, left)
+        assert compare("<=", left, right) == compare(">=", right, left)

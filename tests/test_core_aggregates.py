@@ -1,0 +1,108 @@
+"""Tests for the acceptable-precision aggregate extension (Section 4)."""
+
+import pytest
+
+from repro.core import AggregateCache
+
+from tests.conftest import OAKLAND
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+COUNT = f"count({PREFIX}//parkingSpace[available='yes'])"
+
+
+class TestAggregateCache:
+    def test_miss_then_hit_within_age(self, settable_clock):
+        cache = AggregateCache(settable_clock)
+        assert cache.lookup(COUNT, max_age=60) is None
+        cache.store(COUNT, 4.0)
+        settable_clock.advance(30)
+        assert cache.lookup(COUNT, max_age=60).value == 4.0
+
+    def test_expired_entry_misses(self, settable_clock):
+        cache = AggregateCache(settable_clock)
+        cache.store(COUNT, 4.0)
+        settable_clock.advance(120)
+        assert cache.lookup(COUNT, max_age=60) is None
+
+    def test_no_tolerance_never_hits(self, settable_clock):
+        cache = AggregateCache(settable_clock)
+        cache.store(COUNT, 4.0)
+        assert cache.lookup(COUNT) is None
+
+    def test_precision_converts_to_age(self, settable_clock):
+        # Aggregates drift at most 0.5%/s -> 10% tolerance = 20s of age.
+        cache = AggregateCache(settable_clock, drift_rate=0.005)
+        assert cache.max_age_for_precision(0.10) == pytest.approx(20.0)
+        cache.store(COUNT, 4.0)
+        settable_clock.advance(15)
+        assert cache.lookup(COUNT, precision=0.10) is not None
+        settable_clock.advance(10)
+        assert cache.lookup(COUNT, precision=0.10) is None
+
+    def test_precision_without_drift_rate_rejected(self, settable_clock):
+        cache = AggregateCache(settable_clock)
+        with pytest.raises(ValueError):
+            cache.lookup(COUNT, precision=0.10)
+
+    def test_invalidate(self, settable_clock):
+        cache = AggregateCache(settable_clock)
+        cache.store(COUNT, 4.0)
+        cache.invalidate(COUNT)
+        assert cache.lookup(COUNT, max_age=999) is None
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.invalidate()
+        assert len(cache) == 0
+
+
+class TestClusterPrecisionQueries:
+    def test_tolerant_aggregate_served_from_cache(self, paper_doc,
+                                                  paper_plan,
+                                                  settable_clock):
+        from repro.net import Cluster
+
+        cluster = Cluster(paper_doc, paper_plan, clock=settable_clock)
+        site, _ = cluster.route_query(COUNT)
+        agent = cluster.agent(site)
+
+        exact = cluster.scalar(COUNT)
+        sent = agent.stats["subqueries_sent"]
+
+        # Within tolerance: answered from the aggregate cache, no new
+        # gather at all.
+        settable_clock.advance(10)
+        tolerant = cluster.scalar(COUNT, max_age=60)
+        assert tolerant == exact
+        assert agent.stats["subqueries_sent"] == sent
+        assert agent.driver.aggregates.stats["hits"] == 1
+
+    def test_stale_aggregate_recomputed(self, paper_doc, paper_plan,
+                                        settable_clock):
+        from repro.net import Cluster
+
+        cluster = Cluster(paper_doc, paper_plan, clock=settable_clock)
+        site, _ = cluster.route_query(COUNT)
+        first = cluster.scalar(COUNT)
+
+        # The world changes...
+        space = OAKLAND + (("block", "1"), ("parkingSpace", "2"))
+        sa = cluster.add_sensing_agent("sa-agg", [space])
+        sa.send_update(space, values={"available": "yes"})
+        settable_clock.advance(120)
+
+        # ...a tolerant query past its age bound recomputes.
+        fresh = cluster.scalar(COUNT, max_age=60)
+        assert fresh == first + 1
+
+    def test_exact_query_never_uses_aggregate_cache(self, paper_doc,
+                                                    paper_plan,
+                                                    settable_clock):
+        from repro.net import Cluster
+
+        cluster = Cluster(paper_doc, paper_plan, clock=settable_clock)
+        first = cluster.scalar(COUNT)
+        space = OAKLAND + (("block", "1"), ("parkingSpace", "2"))
+        sa = cluster.add_sensing_agent("sa-agg", [space])
+        sa.send_update(space, values={"available": "yes"})
+        assert cluster.scalar(COUNT) == first + 1  # no tolerance given

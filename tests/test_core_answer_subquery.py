@@ -1,0 +1,156 @@
+"""Unit tests for the answer builder (C1/C2) and subquery rendering."""
+
+import pytest
+
+from repro.core import (
+    AnswerBuilder,
+    CoreError,
+    PartitionPlan,
+    Status,
+    Subquery,
+    fragment_violations,
+    get_status,
+    render_boolean_probe,
+    render_id_path_query,
+    render_residual_query,
+)
+from repro.core.qeg import compile_pattern
+from repro.xpath import parse
+
+from tests.conftest import OAKLAND, PITTSBURGH, SHADYSIDE, id_path
+
+
+@pytest.fixture
+def oak_db(paper_doc):
+    plan = PartitionPlan({
+        "top": [id_path("usRegion=NE")],
+        "oak": [OAKLAND],
+    })
+    return plan.build_databases(paper_doc)["oak"]
+
+
+class TestAnswerBuilder:
+    def test_empty_builder(self, oak_db):
+        builder = AnswerBuilder(oak_db)
+        assert builder.is_empty
+        assert builder.build() is None
+
+    def test_local_information_marked_complete(self, oak_db, paper_doc):
+        builder = AnswerBuilder(oak_db)
+        builder.include_local_information(oak_db.find(OAKLAND))
+        fragment = builder.build()
+        shady = fragment
+        for tag, identifier in OAKLAND[1:]:
+            shady = shady.child(tag, id=identifier)
+        assert get_status(shady) is Status.COMPLETE
+        assert shady.get("zipcode") == "15213"
+        # Block stubs travel as incomplete.
+        assert get_status(shady.child("block", id="1")) is Status.INCOMPLETE
+        assert fragment_violations(fragment, paper_doc) == []
+
+    def test_ancestors_included_automatically(self, oak_db):
+        builder = AnswerBuilder(oak_db)
+        builder.include_local_information(oak_db.find(OAKLAND))
+        fragment = builder.build()
+        assert get_status(fragment) is Status.ID_COMPLETE
+        city = fragment.child("state").child("county").child("city")
+        assert get_status(city) is Status.ID_COMPLETE
+        # C2: the city's ID info lists *all* its neighborhoods.
+        assert {c.id for c in city.element_children("neighborhood")} == \
+            {"Oakland", "Shadyside"}
+
+    def test_include_subtree(self, oak_db, paper_doc):
+        builder = AnswerBuilder(oak_db)
+        missing = []
+        builder.include_ancestors(oak_db.find(OAKLAND))
+        builder.include_subtree(oak_db.find(OAKLAND),
+                                on_missing=missing.append)
+        fragment = builder.build()
+        assert missing == []  # oak owns the whole subtree
+        assert fragment_violations(fragment, paper_doc) == []
+        node = fragment
+        for tag, identifier in OAKLAND[1:]:
+            node = node.child(tag, id=identifier)
+        space = node.child("block", id="1").child("parkingSpace", id="1")
+        assert get_status(space) is Status.COMPLETE
+
+    def test_include_subtree_reports_missing(self, oak_db):
+        builder = AnswerBuilder(oak_db)
+        missing = []
+        # The city node is only id-complete at oak, so the subtree walk
+        # stops right there: one fetch of the city covers everything.
+        builder.include_subtree(oak_db.find(PITTSBURGH),
+                                on_missing=missing.append)
+        assert [node.id for node in missing] == ["Pittsburgh"]
+
+    def test_cannot_include_what_sender_lacks(self, oak_db):
+        builder = AnswerBuilder(oak_db)
+        with pytest.raises(CoreError):
+            builder.include_local_information(oak_db.find(SHADYSIDE))
+
+    def test_idempotent_inclusion(self, oak_db):
+        builder = AnswerBuilder(oak_db)
+        element = oak_db.find(OAKLAND)
+        builder.include_local_information(element)
+        builder.include_local_information(element)
+        fragment = builder.build()
+        city = fragment.child("state").child("county").child("city")
+        assert len(list(city.element_children("neighborhood"))) == 2
+
+
+class TestSubqueryRendering:
+    def test_id_path_query(self):
+        query = render_id_path_query([("a", "1"), ("b", "x")])
+        assert query == "/a[@id = '1']/b[@id = 'x']"
+        parse(query)  # must be valid XPath
+
+    def test_extra_predicates_attach_to_last_step(self):
+        extra = parse("/x[price > 5]").steps[0].predicates
+        query = render_id_path_query([("a", "1")], extra)
+        assert query == "/a[@id = '1'][price > 5]"
+
+    def test_quotes_in_ids_survive(self):
+        query = render_id_path_query([("a", "O'Hara")])
+        ast = parse(query)
+        from repro.xpath.analysis import extract_id_path
+
+        assert extract_id_path(ast) == [("a", "O'Hara")]
+
+    def test_residual_query(self, paper_schema):
+        pattern = compile_pattern(
+            "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+            "/city[@id='Pittsburgh']/neighborhood[@id='Oakland']"
+            "/block[@id='1']/parkingSpace[available='yes']",
+            schema=paper_schema,
+        )
+        query = render_residual_query(
+            OAKLAND, [], pattern.items[5:])
+        assert query.endswith(
+            "/block[@id = '1']/parkingSpace[available = 'yes']")
+
+    def test_residual_descendant_gap(self, paper_schema):
+        pattern = compile_pattern("/usRegion[@id='NE']//parkingSpace",
+                                  schema=paper_schema)
+        query = render_residual_query(
+            OAKLAND, [], pattern.items[1:], descendant_gap=True)
+        assert "//parkingSpace" in query
+
+    def test_boolean_probe(self):
+        predicate = parse("/x[./neighborhood[@id='Oakland']]") \
+            .steps[0].predicates[0]
+        probe = render_boolean_probe(PITTSBURGH, predicate)
+        assert probe.startswith("boolean(")
+        parse(probe)
+
+
+class TestSubqueryObject:
+    def test_equality_by_query(self):
+        a = Subquery("/a[@id = '1']", [("a", "1")], Subquery.INCOMPLETE)
+        b = Subquery("/a[@id = '1']", [("a", "1")], Subquery.STALE)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_scalar_distinct(self):
+        a = Subquery("/a", [("a", "1")], Subquery.NESTED_PROBE, scalar=True)
+        b = Subquery("/a", [("a", "1")], Subquery.NESTED_PROBE, scalar=False)
+        assert a != b

@@ -1,0 +1,156 @@
+"""Unit tests for IDable nodes and local (ID) information (Defs 3.1/3.2)."""
+
+import pytest
+
+from repro.core import (
+    UnknownNodeError,
+    find_by_id_path,
+    format_id_path,
+    id_path_of,
+    idable_children,
+    is_idable,
+    iter_idable,
+    local_id_information,
+    local_information,
+    lowest_idable_ancestor_or_self,
+    node_id,
+    non_idable_children,
+)
+from repro.xmlkit import parse_fragment, trees_equal
+
+FIGURE4 = """
+<neighborhood id='Oakland' zipcode='15213'>
+  <block id='1'>
+    <pSpace id='1'><in-use>no</in-use><GPS/></pSpace>
+    <pSpace id='2'><price>25 cents</price></pSpace>
+  </block>
+  <block id='2'><pSpace id='1'/></block>
+  <available-spaces>8</available-spaces>
+</neighborhood>
+"""
+
+
+@pytest.fixture
+def fig4():
+    return parse_fragment(FIGURE4)
+
+
+class TestIdable:
+    def test_root_is_idable(self, fig4):
+        assert is_idable(fig4)
+
+    def test_nested_idable(self, fig4):
+        block = fig4.child("block", id="1")
+        assert is_idable(block)
+        assert is_idable(block.child("pSpace", id="1"))
+
+    def test_non_idable_leaf(self, fig4):
+        assert not is_idable(fig4.child("available-spaces"))
+
+    def test_child_of_non_idable_is_not_idable(self):
+        doc = parse_fragment("<a id='1'><nonid><b id='x'/></nonid></a>")
+        b = doc.child("nonid").child("b")
+        assert not is_idable(b)
+
+    def test_duplicate_sibling_ids_break_idability(self):
+        doc = parse_fragment("<a id='1'><b id='x'/><b id='x'/></a>")
+        for b in doc.element_children("b"):
+            assert not is_idable(b)
+
+    def test_same_id_different_tags_ok(self):
+        doc = parse_fragment("<a id='1'><b id='x'/><c id='x'/></a>")
+        assert all(is_idable(child) for child in doc.element_children())
+
+    def test_idable_children(self, fig4):
+        assert {node_id(c) for c in idable_children(fig4)} == \
+            {("block", "1"), ("block", "2")}
+
+    def test_non_idable_children(self, fig4):
+        tags = [c.tag for c in non_idable_children(fig4)]
+        assert tags == ["available-spaces"]
+
+    def test_iter_idable_top_down(self, fig4):
+        nodes = list(iter_idable(fig4))
+        assert node_id(nodes[0]) == ("neighborhood", "Oakland")
+        assert len(nodes) == 6  # nbhd + 2 blocks + 3 spaces
+
+
+class TestLocalInformation:
+    def test_paper_example(self, fig4):
+        """Matches the worked local-information example in Section 3.2."""
+        expected = parse_fragment("""
+        <neighborhood id='Oakland' zipcode='15213'>
+          <block id='1'/>
+          <block id='2'/>
+          <available-spaces>8</available-spaces>
+        </neighborhood>
+        """)
+        assert trees_equal(local_information(fig4), expected)
+
+    def test_paper_example_id_information(self, fig4):
+        expected = parse_fragment("""
+        <neighborhood id='Oakland'>
+          <block id='1'/>
+          <block id='2'/>
+        </neighborhood>
+        """)
+        assert trees_equal(local_id_information(fig4), expected)
+
+    def test_local_information_keeps_non_idable_subtrees(self, fig4):
+        block = fig4.child("block", id="1")
+        space = block.child("pSpace", id="1")
+        info = local_information(space)
+        assert info.child("in-use").text == "no"
+        assert info.child("GPS") is not None
+
+    def test_local_information_is_detached_copy(self, fig4):
+        info = local_information(fig4)
+        assert info.parent is None
+        info.set("zipcode", "00000")
+        assert fig4.get("zipcode") == "15213"
+
+    def test_internal_attributes_stripped_by_default(self, fig4):
+        fig4.set("status", "owned")
+        assert local_information(fig4).get("status") is None
+        assert local_information(fig4, keep_internal=True).get("status") == \
+            "owned"
+
+    def test_local_informations_nearly_disjoint(self, fig4):
+        """Union of local informations = the document, overlapping only
+        in the IDs of IDable nodes (the partitioning property)."""
+        total = sum(local_information(n).size() for n in iter_idable(fig4))
+        overlap = sum(len(idable_children(n)) for n in iter_idable(fig4))
+        assert total - overlap == fig4.size()
+
+
+class TestIdPaths:
+    def test_id_path_of(self, fig4):
+        space = fig4.child("block", id="1").child("pSpace", id="2")
+        assert id_path_of(space) == [
+            ("neighborhood", "Oakland"), ("block", "1"), ("pSpace", "2")]
+
+    def test_find_by_id_path(self, fig4):
+        path = [("neighborhood", "Oakland"), ("block", "2"), ("pSpace", "1")]
+        assert find_by_id_path(fig4, path) is \
+            fig4.child("block", id="2").child("pSpace", id="1")
+
+    def test_find_missing_returns_none(self, fig4):
+        assert find_by_id_path(
+            fig4, [("neighborhood", "Oakland"), ("block", "9")]) is None
+
+    def test_find_required_raises(self, fig4):
+        with pytest.raises(UnknownNodeError):
+            find_by_id_path(fig4, [("neighborhood", "Nope")], required=True)
+
+    def test_format(self):
+        assert format_id_path([("a", "1"), ("b", "2")]) == "a=1/b=2"
+
+    def test_lowest_idable_ancestor(self, fig4):
+        leaf = fig4.child("block", id="1").child("pSpace", id="1") \
+            .child("in-use")
+        anchor = lowest_idable_ancestor_or_self(leaf)
+        assert node_id(anchor) == ("pSpace", "1")
+
+    def test_lowest_idable_ancestor_of_idable_is_self(self, fig4):
+        block = fig4.child("block", id="1")
+        assert lowest_idable_ancestor_or_self(block) is block

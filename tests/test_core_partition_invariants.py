@@ -1,0 +1,173 @@
+"""Unit tests for partitioning and the invariant checkers."""
+
+import pytest
+
+from repro.core import (
+    PartitionError,
+    PartitionPlan,
+    Status,
+    get_status,
+    ownership_violations,
+    set_status,
+    structural_violations,
+    validate_deployment,
+    violations_against_reference,
+)
+
+from tests.conftest import ETNA, OAKLAND, PITTSBURGH, SHADYSIDE, id_path
+
+
+class TestPartitionPlan:
+    def test_owner_map_nearest_ancestor(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+        })
+        owners = plan.owner_map(paper_doc)
+        assert owners[OAKLAND] == "oak"
+        assert owners[OAKLAND + (("block", "1"),)] == "oak"
+        assert owners[SHADYSIDE] == "top"
+        assert owners[id_path("usRegion=NE")] == "top"
+
+    def test_deeper_assignment_wins(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+            "blk": [OAKLAND + (("block", "1"),)],
+        })
+        owners = plan.owner_map(paper_doc)
+        assert owners[OAKLAND + (("block", "1"),)] == "blk"
+        assert owners[OAKLAND + (("block", "1"), ("parkingSpace", "1"))] == \
+            "blk"
+        assert owners[OAKLAND + (("block", "2"),)] == "oak"
+
+    def test_root_must_be_assigned(self, paper_doc):
+        plan = PartitionPlan({"oak": [OAKLAND]})
+        with pytest.raises(PartitionError):
+            plan.owner_map(paper_doc)
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionPlan({"a": [OAKLAND], "b": [OAKLAND]})
+
+    def test_nonexistent_path_rejected(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "bad": [id_path("usRegion=NE/state=XX")],
+        })
+        with pytest.raises(PartitionError):
+            plan.owner_map(paper_doc)
+
+    def test_dns_records_cover_every_idable_node(self, paper_doc):
+        plan = PartitionPlan({"top": [id_path("usRegion=NE")]})
+        records = plan.dns_records(paper_doc)
+        from repro.core.idable import iter_idable
+
+        assert len(records) == sum(1 for _ in iter_idable(paper_doc))
+        assert all(site == "top" for site in records.values())
+
+
+class TestBuiltDatabases:
+    @pytest.fixture
+    def deployment(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+            "shady": [SHADYSIDE],
+            "etna": [ETNA],
+        })
+        return plan, plan.owner_map(paper_doc), \
+            plan.build_databases(paper_doc)
+
+    def test_every_site_valid(self, deployment, paper_doc):
+        _plan, owners, dbs = deployment
+        assert validate_deployment(dbs, paper_doc, owners) == []
+
+    def test_i1_each_owned_node_has_local_info(self, deployment):
+        _plan, owners, dbs = deployment
+        for path, site in owners.items():
+            element = dbs[site].find(path)
+            assert get_status(element) is Status.OWNED
+
+    def test_i2_ancestor_chain_stored(self, deployment):
+        _plan, _owners, dbs = deployment
+        oak = dbs["oak"]
+        for depth in range(1, len(OAKLAND)):
+            ancestor = oak.find(OAKLAND[:depth])
+            assert ancestor is not None
+            assert get_status(ancestor).has_id_information
+
+    def test_sibling_ids_present_at_ancestors(self, deployment):
+        _plan, _owners, dbs = deployment
+        # Shadyside's site knows Pittsburgh's other neighborhood IDs (I2).
+        city = dbs["shady"].find(PITTSBURGH)
+        ids = {c.id for c in city.element_children("neighborhood")}
+        assert ids == {"Oakland", "Shadyside"}
+
+    def test_non_owned_content_absent(self, deployment):
+        _plan, _owners, dbs = deployment
+        shady_at_oak = dbs["oak"].find(SHADYSIDE)
+        assert get_status(shady_at_oak) is Status.INCOMPLETE
+        assert shady_at_oak.children == []
+
+
+class TestViolationDetection:
+    @pytest.fixture
+    def clean_db(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+        })
+        return plan.build_databases(paper_doc)["oak"]
+
+    def test_detects_i2_break(self, clean_db):
+        # Demote an ancestor below id-complete while keeping descendants.
+        city = clean_db.find(PITTSBURGH)
+        set_status(city, Status.INCOMPLETE)
+        problems = structural_violations(clean_db)
+        assert any("I2" in p for p in problems)
+
+    def test_detects_fat_stub(self, clean_db):
+        shady = clean_db.find(SHADYSIDE)
+        shady.set("zipcode", "15232")  # an incomplete node with content
+        problems = structural_violations(clean_db)
+        assert any("bare stub" in p for p in problems)
+
+    def test_detects_missing_timestamp(self, clean_db):
+        clean_db.find(OAKLAND).delete_attribute("timestamp")
+        problems = structural_violations(clean_db)
+        assert any("timestamp" in p for p in problems)
+
+    def test_detects_content_divergence(self, clean_db, paper_doc):
+        clean_db.find(OAKLAND).set("zipcode", "00000")
+        problems = violations_against_reference(clean_db, paper_doc)
+        assert any("local information differs" in p for p in problems)
+
+    def test_detects_wrong_child_ids(self, clean_db, paper_doc):
+        city = clean_db.find(PITTSBURGH)
+        city.remove(clean_db.find(SHADYSIDE))
+        problems = violations_against_reference(clean_db, paper_doc)
+        assert any("child IDs differ" in p for p in problems)
+
+    def test_ownership_violations(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+        })
+        owners = plan.owner_map(paper_doc)
+        dbs = plan.build_databases(paper_doc)
+        dbs["oak"].release_ownership(OAKLAND)
+        problems = ownership_violations(dbs, owners)
+        assert any("I1" in p for p in problems)
+
+    def test_foreign_owned_detected(self, paper_doc):
+        plan = PartitionPlan({
+            "top": [id_path("usRegion=NE")],
+            "oak": [OAKLAND],
+        })
+        owners = plan.owner_map(paper_doc)
+        dbs = plan.build_databases(paper_doc)
+        # "oak" suddenly claims Shadyside (a bare stub) as owned.
+        set_status(dbs["oak"].find(SHADYSIDE), Status.OWNED)
+        problems = ownership_violations(dbs, owners)
+        assert any("owner map says" in p for p in problems)

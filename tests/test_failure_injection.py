@@ -1,0 +1,137 @@
+"""Failure-injection tests: the system's behaviour when parts break.
+
+The paper's prototype assumes cooperative, reachable sites; these tests
+pin down what this implementation does at the edges -- errors surface
+loudly instead of corrupting state, and local data keeps being served.
+"""
+
+import pytest
+
+from repro.core import Status, get_status, structural_violations
+from repro.net import NetError, QueryMessage, UnknownSite
+
+from tests.conftest import OAKLAND, SHADYSIDE
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+
+
+class TestDeadSites:
+    def test_query_needing_dead_site_raises(self, paper_cluster):
+        paper_cluster.network.unregister("shady")
+        with pytest.raises(UnknownSite):
+            paper_cluster.query(
+                PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']",
+                at_site="top")
+
+    def test_local_queries_survive_dead_peer(self, paper_cluster):
+        paper_cluster.network.unregister("shady")
+        results, _, _ = paper_cluster.query(
+            PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']")
+        assert len(results) == 1
+
+    def test_cached_data_survives_dead_owner(self, paper_cluster):
+        query = PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']"
+        paper_cluster.query(query, at_site="top")  # warm the cache
+        paper_cluster.network.unregister("shady")
+        results, _, _ = paper_cluster.query(query, at_site="top")
+        assert len(results) == 1  # the cache answers
+
+    def test_state_clean_after_failed_gather(self, paper_cluster):
+        paper_cluster.network.unregister("shady")
+        with pytest.raises(UnknownSite):
+            paper_cluster.query(
+                PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']",
+                at_site="top")
+        assert structural_violations(paper_cluster.database("top")) == []
+        # And the site still answers what it can.
+        results, _, _ = paper_cluster.query(
+            PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']",
+            at_site="top")
+        assert len(results) == 1
+
+
+class TestLinkFailures:
+    def test_intermittent_link_error_propagates(self, paper_cluster):
+        calls = {"n": 0}
+
+        def flaky(src, dst, message):
+            calls["n"] += 1
+            if dst == "shady":
+                raise ConnectionError("link to shady down")
+
+        paper_cluster.network.interceptors.append(flaky)
+        with pytest.raises(ConnectionError):
+            paper_cluster.query(
+                PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']",
+                at_site="top")
+        paper_cluster.network.interceptors.clear()
+        # Once the link heals the same query succeeds.
+        results, _, _ = paper_cluster.query(
+            PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']",
+            at_site="top")
+        assert len(results) == 1
+
+    def test_malformed_reply_detected(self, paper_cluster):
+        class _Liar:
+            def handle_message(self, message):
+                return QueryMessage("/nonsense")  # not an AnswerMessage
+
+        paper_cluster.network.register("shady", _Liar())
+        with pytest.raises(NetError):
+            paper_cluster.query(
+                PREFIX + "/neighborhood[@id='Shadyside']/block[@id='1']",
+                at_site="top")
+
+
+class TestBadInputs:
+    def test_syntactically_bad_query_raises_cleanly(self, paper_cluster):
+        from repro.xpath.errors import XPathSyntaxError
+
+        with pytest.raises(XPathSyntaxError):
+            paper_cluster.query("/a[unclosed")
+
+    def test_ordered_construct_rejected(self, paper_cluster):
+        from repro.xpath.errors import XPathUnsupportedError
+
+        with pytest.raises(XPathUnsupportedError):
+            paper_cluster.query("/usRegion[@id='NE']/state[1]")
+
+    def test_update_to_unknown_node_fails_loudly(self, paper_cluster):
+        from repro.core import UnknownNodeError
+        from repro.net import NameNotFound
+
+        sa = paper_cluster.add_sensing_agent("sa-x", [])
+        ghost = OAKLAND + (("block", "1"), ("parkingSpace", "999"))
+        # Fails at DNS resolution (the node was never registered); a
+        # stale-but-resolvable path would fail at the owner instead.
+        with pytest.raises((UnknownNodeError, NameNotFound)):
+            sa.send_update(ghost, values={"available": "no"})
+
+    def test_unknown_message_kind_rejected_by_oa(self, paper_cluster):
+        class _Weird:
+            kind = "weird"
+            message_id = 1
+
+            def encoded_size(self):
+                return 1
+
+        with pytest.raises(NetError):
+            paper_cluster.agent("top").handle_message(_Weird())
+
+
+class TestCorruptionDetection:
+    def test_invalid_status_attribute_detected(self, paper_cluster):
+        element = paper_cluster.database("top").find(SHADYSIDE)
+        element.set("status", "half-done")
+        problems = structural_violations(paper_cluster.database("top"))
+        assert any("invalid status" in p for p in problems)
+
+    def test_duplicate_sibling_ids_detected(self, paper_cluster):
+        from repro.xmlkit import Element
+
+        city = paper_cluster.database("top").find(OAKLAND[:-1])
+        rogue = Element("neighborhood", attrib={"id": "Oakland"})
+        city.append(rogue)
+        problems = structural_violations(paper_cluster.database("top"))
+        assert any("duplicate sibling id" in p for p in problems)

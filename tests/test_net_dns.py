@@ -1,0 +1,89 @@
+"""Unit tests for the DNS substrate."""
+
+import pytest
+
+from repro.net import DnsResolver, DnsServer, NameNotFound
+
+
+@pytest.fixture
+def server():
+    server = DnsServer(service="parking", zone="intel-iris.net")
+    server.register_id_path(
+        [("usRegion", "NE"), ("state", "PA")], "site-1")
+    return server
+
+
+class TestServer:
+    def test_name_for_matches_paper_format(self, server):
+        assert server.name_for([("usRegion", "NE"), ("state", "PA")]) == \
+            "pa.ne.parking.intel-iris.net"
+
+    def test_register_and_lookup(self, server):
+        record = server.lookup("pa.ne.parking.intel-iris.net")
+        assert record.site == "site-1"
+        assert record.version == 0
+
+    def test_missing_name_raises(self, server):
+        with pytest.raises(NameNotFound):
+            server.lookup("nowhere.parking.intel-iris.net")
+
+    def test_update_bumps_version(self, server):
+        server.update("pa.ne.parking.intel-iris.net", "site-2")
+        record = server.lookup("pa.ne.parking.intel-iris.net")
+        assert record.site == "site-2"
+        assert record.version == 1
+
+    def test_update_requires_existing(self, server):
+        with pytest.raises(NameNotFound):
+            server.update("ghost.parking.intel-iris.net", "x")
+
+    def test_reregister_replaces(self, server):
+        server.register("pa.ne.parking.intel-iris.net", "site-9")
+        assert server.lookup("pa.ne.parking.intel-iris.net").site == "site-9"
+
+    def test_remove(self, server):
+        server.remove("pa.ne.parking.intel-iris.net")
+        with pytest.raises(NameNotFound):
+            server.lookup("pa.ne.parking.intel-iris.net")
+
+
+class TestResolver:
+    def test_miss_then_hit(self, server, settable_clock):
+        resolver = DnsResolver(server, clock=settable_clock, ttl=60)
+        site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert site == "site-1" and hops == resolver.miss_hops
+        site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert site == "site-1" and hops == 0
+        assert resolver.stats == {"hits": 1, "misses": 1}
+
+    def test_ttl_expiry_refetches(self, server, settable_clock):
+        resolver = DnsResolver(server, clock=settable_clock, ttl=30)
+        resolver.resolve("pa.ne.parking.intel-iris.net")
+        settable_clock.advance(31)
+        _site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert hops == resolver.miss_hops
+
+    def test_stale_cache_until_expiry(self, server, settable_clock):
+        """The paper's migration story: cached entries keep pointing at
+        the old owner until they expire or are invalidated."""
+        resolver = DnsResolver(server, clock=settable_clock, ttl=60)
+        resolver.resolve("pa.ne.parking.intel-iris.net")
+        server.update("pa.ne.parking.intel-iris.net", "site-2")
+        site, _ = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert site == "site-1"  # stale, served from cache
+        resolver.invalidate("pa.ne.parking.intel-iris.net")
+        site, _ = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert site == "site-2"
+
+    def test_invalidate_all(self, server, settable_clock):
+        resolver = DnsResolver(server, clock=settable_clock)
+        resolver.resolve("pa.ne.parking.intel-iris.net")
+        resolver.invalidate()
+        _site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
+        assert hops == resolver.miss_hops
+
+    def test_resolve_id_path(self, server, settable_clock):
+        resolver = DnsResolver(server, clock=settable_clock)
+        site, _ = resolver.resolve_id_path(
+            [("usRegion", "NE"), ("state", "PA")])
+        assert site == "site-1"

@@ -1,0 +1,142 @@
+"""Unit tests for wire messages and the loopback transport."""
+
+import pytest
+
+from repro.net import (
+    AckMessage,
+    AdoptMessage,
+    AnswerMessage,
+    LoopbackNetwork,
+    Message,
+    MessageError,
+    QueryMessage,
+    UnknownSite,
+    UpdateMessage,
+)
+from repro.xmlkit import parse_fragment, trees_equal
+
+
+class TestEncoding:
+    def test_query_roundtrip(self):
+        message = QueryMessage("/a[@id='1']/b", now=123.5, scalar=True,
+                               user=False, sender="site-1")
+        decoded = Message.decode(message.encode())
+        assert isinstance(decoded, QueryMessage)
+        assert decoded.query == "/a[@id='1']/b"
+        assert decoded.now == 123.5
+        assert decoded.scalar is True
+        assert decoded.user is False
+        assert decoded.sender == "site-1"
+        assert decoded.message_id == message.message_id
+
+    def test_query_with_special_characters(self):
+        message = QueryMessage("/a[price < 5 and name != \"x&y\"]")
+        decoded = Message.decode(message.encode())
+        assert decoded.query == "/a[price < 5 and name != \"x&y\"]"
+
+    def test_answer_with_fragment(self):
+        fragment = parse_fragment("<a id='1' status='complete'><b/></a>")
+        message = AnswerMessage(7, fragment=fragment, sender="s")
+        decoded = Message.decode(message.encode())
+        assert decoded.in_reply_to == 7
+        assert trees_equal(decoded.fragment, fragment)
+
+    def test_answer_with_scalars(self):
+        for value in (True, False, 3.5, None):
+            decoded = Message.decode(
+                AnswerMessage(1, scalar=value).encode())
+            assert decoded.scalar == value
+
+    def test_answer_with_results(self):
+        results = [parse_fragment("<r id='1'/>"), parse_fragment("<r id='2'/>")]
+        decoded = Message.decode(AnswerMessage(1, results=results).encode())
+        assert [r.id for r in decoded.results] == ["1", "2"]
+
+    def test_update_roundtrip(self):
+        message = UpdateMessage(
+            [("a", "1"), ("b", "2")],
+            attributes={"zipcode": "15213"},
+            values={"available": "yes"},
+            sender="sa-1",
+        )
+        decoded = Message.decode(message.encode())
+        assert decoded.id_path == (("a", "1"), ("b", "2"))
+        assert decoded.attributes == {"zipcode": "15213"}
+        assert decoded.values == {"available": "yes"}
+
+    def test_ack_roundtrip(self):
+        decoded = Message.decode(
+            AckMessage(9, ok=False, detail="nope").encode())
+        assert decoded.in_reply_to == 9
+        assert decoded.ok is False
+        assert decoded.detail == "nope"
+
+    def test_adopt_roundtrip(self):
+        fragment = parse_fragment("<a id='1' status='complete'/>")
+        message = AdoptMessage([[("a", "1")]], fragment)
+        decoded = Message.decode(message.encode())
+        assert decoded.id_paths == [(("a", "1"),)]
+        assert trees_equal(decoded.fragment, fragment)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MessageError):
+            Message.decode("<message kind='mystery' id='1'/>")
+
+    def test_encoded_size_positive(self):
+        assert QueryMessage("/a").encoded_size() > 0
+
+    def test_message_ids_unique(self):
+        a, b = QueryMessage("/a"), QueryMessage("/a")
+        assert a.message_id != b.message_id
+
+
+class _EchoAgent:
+    def __init__(self):
+        self.seen = []
+
+    def handle_message(self, message):
+        self.seen.append(message)
+        return AckMessage(message.message_id, ok=True, sender="echo")
+
+
+class TestLoopback:
+    def test_request_delivers_and_replies(self):
+        network = LoopbackNetwork()
+        agent = _EchoAgent()
+        network.register("echo", agent)
+        reply = network.request("client", "echo", QueryMessage("/a"))
+        assert reply.ok
+        assert len(agent.seen) == 1
+
+    def test_unknown_site(self):
+        with pytest.raises(UnknownSite):
+            LoopbackNetwork().request("a", "ghost", QueryMessage("/a"))
+
+    def test_traffic_counted(self):
+        network = LoopbackNetwork(count_bytes=True)
+        network.register("echo", _EchoAgent())
+        network.request("client", "echo", QueryMessage("/a"))
+        summary = network.traffic.summary()
+        assert summary["messages"] == 2  # request + reply
+        assert summary["bytes"] > 0
+        assert ("client", "echo") in summary["links"]
+
+    def test_interceptors_run(self):
+        network = LoopbackNetwork()
+        network.register("echo", _EchoAgent())
+        calls = []
+        network.interceptors.append(
+            lambda src, dst, m: calls.append((src, dst)))
+        network.tell("c", "echo", QueryMessage("/a"))
+        assert calls == [("c", "echo")]
+
+    def test_interceptor_can_inject_failures(self):
+        network = LoopbackNetwork()
+        network.register("echo", _EchoAgent())
+
+        def bomb(src, dst, message):
+            raise ConnectionError("link down")
+
+        network.interceptors.append(bomb)
+        with pytest.raises(ConnectionError):
+            network.request("c", "echo", QueryMessage("/a"))

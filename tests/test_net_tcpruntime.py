@@ -1,0 +1,163 @@
+"""Tests for the TCP runtime: the same system over real sockets."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net import QueryMessage
+from repro.net.errors import NetError, UnknownSite
+from repro.net.tcpruntime import (
+    TcpCluster,
+    TcpNetwork,
+    recv_framed,
+    send_framed,
+)
+
+from tests.conftest import FIGURE2_QUERY, OAKLAND
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+
+
+class TestFraming:
+    def _pair(self):
+        left, right = socket.socketpair()
+        return left, right
+
+    def test_roundtrip(self):
+        left, right = self._pair()
+        try:
+            send_framed(left, "hello <wire/>")
+            assert recv_framed(right) == "hello <wire/>"
+        finally:
+            left.close()
+            right.close()
+
+    def test_multiple_frames_in_order(self):
+        left, right = self._pair()
+        try:
+            for index in range(5):
+                send_framed(left, f"frame-{index}")
+            for index in range(5):
+                assert recv_framed(right) == f"frame-{index}"
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_close_returns_none(self):
+        left, right = self._pair()
+        left.close()
+        try:
+            assert recv_framed(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_close_raises(self):
+        left, right = self._pair()
+        try:
+            left.sendall(b"\x00\x00\x00\x10abc")  # promises 16, sends 3
+            left.close()
+            with pytest.raises(NetError):
+                recv_framed(right)
+        finally:
+            right.close()
+
+    def test_unicode_payload(self):
+        left, right = self._pair()
+        try:
+            send_framed(left, "<a v='éü'/>")
+            assert recv_framed(right) == "<a v='éü'/>"
+        finally:
+            left.close()
+            right.close()
+
+
+@pytest.fixture
+def tcp_cluster(paper_doc, paper_plan):
+    with TcpCluster(paper_doc, paper_plan) as tcp:
+        yield tcp
+
+
+class TestTcpCluster:
+    def test_figure2_query_over_sockets(self, tcp_cluster):
+        results, site, outcome = tcp_cluster.cluster.query(FIGURE2_QUERY)
+        assert len(results) == 3
+        assert outcome.used_remote_data
+        # Real bytes crossed the wire.
+        assert tcp_cluster.network.traffic.bytes > 0
+
+    def test_query_via_messages_over_sockets(self, tcp_cluster):
+        results, _site = tcp_cluster.cluster.query_via_messages(
+            FIGURE2_QUERY)
+        assert len(results) == 3
+
+    def test_updates_over_sockets(self, tcp_cluster):
+        space = OAKLAND + (("block", "1"), ("parkingSpace", "2"))
+        sa = tcp_cluster.cluster.add_sensing_agent("sa-tcp", [space])
+        sa.network = tcp_cluster.network
+        sa.send_update(space, values={"available": "yes"})
+        element = tcp_cluster.cluster.database("oak").find(space)
+        assert element.child("available").text == "yes"
+
+    def test_migration_over_sockets(self, tcp_cluster):
+        block = OAKLAND + (("block", "1"),)
+        tcp_cluster.cluster.delegate(block, "etna")
+        results, _, _ = tcp_cluster.cluster.query(
+            PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']"
+            "/parkingSpace[available='yes']")
+        assert len(results) == 1
+
+    def test_matches_loopback_answers(self, paper_doc, paper_plan):
+        from repro.net import Cluster
+        from repro.xmlkit import canonical_form
+
+        loop = Cluster(paper_doc.copy(), paper_plan)
+        loop_results, _, _ = loop.query(FIGURE2_QUERY)
+        with TcpCluster(paper_doc.copy(), paper_plan) as tcp:
+            tcp_results, _, _ = tcp.cluster.query(FIGURE2_QUERY)
+
+        def norm(items):
+            out = []
+            for item in items:
+                clone = item.copy()
+                for node in clone.iter():
+                    node.delete_attribute("timestamp")
+                out.append(canonical_form(clone))
+            return sorted(out)
+
+        assert norm(loop_results) == norm(tcp_results)
+
+    def test_concurrent_clients_over_sockets(self, tcp_cluster):
+        errors = []
+        counts = []
+
+        def client():
+            try:
+                for _ in range(5):
+                    results, _, _ = tcp_cluster.cluster.query(
+                        PREFIX + "/neighborhood[@id='Oakland']"
+                        "/block[@id='1']")
+                    counts.append(len(results))
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert counts == [1] * 20
+
+    def test_unknown_site_raises(self, tcp_cluster):
+        with pytest.raises(UnknownSite):
+            tcp_cluster.network.request("x", "ghost", QueryMessage("/a"))
+
+    def test_dead_server_raises_oserror(self, paper_doc, paper_plan):
+        tcp = TcpCluster(paper_doc, paper_plan)
+        address = tcp.servers["shady"].address
+        tcp.servers["shady"].stop()
+        with pytest.raises(OSError):
+            tcp.network.request("x", "shady", QueryMessage("/a"))
+        tcp.close()

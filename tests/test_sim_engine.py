@@ -1,0 +1,238 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+class TestEventsAndTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def process():
+            yield env.timeout(5)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(process())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_event_value_passed_to_process(self):
+        env = Environment()
+        event = env.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        def firer():
+            yield env.timeout(1)
+            event.succeed("payload")
+
+        env.process(waiter())
+        env.process(firer())
+        env.run()
+        assert got == ["payload"]
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def ticker():
+            while True:
+                yield env.timeout(1)
+
+        env.process(ticker())
+        env.run(until=10)
+        assert env.now == 10
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1)
+            return 42
+
+        process = env.process(worker())
+        env.run()
+        assert process.value == 42
+
+    def test_yielding_non_event_fails(self):
+        env = Environment()
+
+        def bad():
+            yield "not an event"
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_add_callback_after_processing(self):
+        env = Environment()
+        event = env.event()
+        event.succeed("v")
+        env.run()
+        late = []
+        event.add_callback(lambda e: late.append(e.value))
+        env.run()
+        assert late == ["v"]
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        env = Environment()
+        done_at = []
+
+        def child(delay):
+            yield env.timeout(delay)
+
+        def parent():
+            children = [env.process(child(d)) for d in (3, 1, 2)]
+            yield env.all_of(children)
+            done_at.append(env.now)
+
+        env.process(parent())
+        env.run()
+        assert done_at == [3.0]
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        hit = []
+
+        def parent():
+            yield env.all_of([])
+            hit.append(env.now)
+
+        env.process(parent())
+        env.run()
+        assert hit == [0.0]
+
+    def test_all_of_with_already_finished(self):
+        env = Environment()
+        order = []
+
+        def quick():
+            yield env.timeout(1)
+
+        def parent(done):
+            yield env.timeout(5)
+            yield env.all_of([done])
+            order.append(env.now)
+
+        done = env.process(quick())
+        env.process(parent(done))
+        env.run()
+        assert order == [5.0]
+
+
+class TestResource:
+    def test_fifo_queueing(self):
+        env = Environment()
+        server = env.resource(capacity=1)
+        order = []
+
+        def job(name, work):
+            grant = server.request()
+            yield grant
+            yield env.timeout(work)
+            server.release()
+            order.append((name, env.now))
+
+        env.process(job("a", 2))
+        env.process(job("b", 2))
+        env.process(job("c", 2))
+        env.run()
+        assert order == [("a", 2.0), ("b", 4.0), ("c", 6.0)]
+
+    def test_capacity_two_parallel(self):
+        env = Environment()
+        server = env.resource(capacity=2)
+        finish = []
+
+        def job(work):
+            yield server.request()
+            yield env.timeout(work)
+            server.release()
+            finish.append(env.now)
+
+        for _ in range(2):
+            env.process(job(4))
+        env.run()
+        assert finish == [4.0, 4.0]
+
+    def test_over_release_rejected(self):
+        env = Environment()
+        server = env.resource()
+        with pytest.raises(SimulationError):
+            server.release()
+
+    def test_utilization(self):
+        env = Environment()
+        server = env.resource()
+
+        def job():
+            yield server.request()
+            yield env.timeout(3)
+            server.release()
+
+        env.process(job())
+        env.run(until=6)
+        assert server.utilization(6.0) == pytest.approx(0.5)
+        assert server.served == 1
+
+    def test_queue_length(self):
+        env = Environment()
+        server = env.resource()
+        lengths = []
+
+        def hog():
+            yield server.request()
+            yield env.timeout(10)
+            server.release()
+
+        def observer():
+            yield env.timeout(5)
+            lengths.append(server.queue_length)
+
+        def waiter():
+            yield server.request()
+            server.release()
+
+        env.process(hog())
+        env.process(waiter())
+        env.process(observer())
+        env.run()
+        assert lengths == [1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def run():
+            env = Environment()
+            log = []
+
+            def proc(name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for index in range(10):
+                env.process(proc(f"p{index}", (index * 7) % 5))
+            env.run()
+            return log
+
+        assert run() == run()

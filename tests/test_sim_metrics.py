@@ -1,0 +1,80 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.sim import WorkloadMetrics
+
+
+@pytest.fixture
+def metrics():
+    m = WorkloadMetrics()
+    m.begin_window(10.0)
+    return m
+
+
+class TestWindowing:
+    def test_empty_window(self, metrics):
+        metrics.close_window(20.0)
+        assert metrics.throughput == 0.0
+        assert metrics.mean_latency == 0.0
+        assert metrics.percentile_latency(0.95) == 0.0
+
+    def test_throughput_over_duration(self, metrics):
+        for index in range(20):
+            metrics.record(10.0 + index * 0.5, latency=0.1, query_type=1)
+        metrics.close_window(20.0)
+        assert metrics.throughput == pytest.approx(2.0)
+        assert metrics.completed == 20
+
+    def test_begin_window_resets(self, metrics):
+        metrics.record(11.0, 0.1, 1)
+        metrics.begin_window(15.0)
+        assert metrics.completed == 0
+        assert metrics.latencies == []
+
+    def test_zero_duration_guard(self, metrics):
+        metrics.record(10.0, 0.1)
+        metrics.close_window(10.0)
+        assert metrics.throughput == 0.0
+
+
+class TestLatencies:
+    def test_mean_and_percentile(self, metrics):
+        for latency in (0.1, 0.2, 0.3, 0.4, 1.0):
+            metrics.record(11.0, latency)
+        metrics.close_window(20.0)
+        assert metrics.mean_latency == pytest.approx(0.4)
+        assert metrics.percentile_latency(0.5) == pytest.approx(0.3)
+        assert metrics.percentile_latency(0.99) == pytest.approx(1.0)
+
+    def test_per_type_accounting(self, metrics):
+        metrics.record(11.0, 0.1, query_type=1)
+        metrics.record(12.0, 0.3, query_type=1)
+        metrics.record(13.0, 0.5, query_type=3)
+        assert metrics.completed_by_type == {1: 2, 3: 1}
+        assert metrics.mean_latency_of(1) == pytest.approx(0.2)
+        assert metrics.mean_latency_of(3) == pytest.approx(0.5)
+        assert metrics.mean_latency_of(4) == 0.0
+
+
+class TestTimeline:
+    def test_throughput_trace_binning(self, metrics):
+        for when in (10.5, 11.0, 12.5, 18.0):
+            metrics.record(when, 0.1)
+        metrics.close_window(20.0)
+        trace = metrics.throughput_trace(bin_seconds=5.0)
+        assert trace[0] == (15.0, 3)
+        assert trace[1] == (20.0, 1)
+        assert sum(count for _t, count in trace) == 4
+
+    def test_empty_trace(self, metrics):
+        metrics.close_window(20.0)
+        assert metrics.throughput_trace() == []
+
+    def test_summary_fields(self, metrics):
+        metrics.record(11.0, 0.25, query_type=2)
+        metrics.close_window(20.0)
+        summary = metrics.summary()
+        assert summary["completed"] == 1
+        assert summary["mean_latency_ms"] == 250.0
+        assert summary["by_type"] == {2: 1}

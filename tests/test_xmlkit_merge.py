@@ -1,0 +1,109 @@
+"""Unit tests for structural fragment merging."""
+
+import pytest
+
+from repro.xmlkit import (
+    XmlMergeError,
+    graft,
+    merge_into,
+    parse_fragment,
+    strip_matching,
+    trees_equal,
+)
+
+
+class TestMergeInto:
+    def test_identity_mismatch_rejected(self):
+        with pytest.raises(XmlMergeError):
+            merge_into(parse_fragment("<a id='1'/>"),
+                       parse_fragment("<a id='2'/>"))
+
+    def test_attributes_unioned_source_wins(self):
+        target = parse_fragment("<a id='1' x='old' keep='k'/>")
+        source = parse_fragment("<a id='1' x='new' extra='e'/>")
+        merge_into(target, source)
+        assert target.get("x") == "new"
+        assert target.get("keep") == "k"
+        assert target.get("extra") == "e"
+
+    def test_prefer_target(self):
+        target = parse_fragment("<a id='1' x='old'/>")
+        merge_into(target, parse_fragment("<a id='1' x='new'/>"),
+                   prefer_source=False)
+        assert target.get("x") == "old"
+
+    def test_children_matched_by_tag_and_id(self):
+        target = parse_fragment("<a id='1'><b id='1' v='t'/></a>")
+        source = parse_fragment(
+            "<a id='1'><b id='1' v='s'/><b id='2' v='n'/></a>")
+        merge_into(target, source)
+        ids = sorted(c.id for c in target.element_children("b"))
+        assert ids == ["1", "2"]
+        assert target.child("b", id="1").get("v") == "s"
+
+    def test_text_replaced_when_source_has_text(self):
+        target = parse_fragment("<a id='1'>old</a>")
+        merge_into(target, parse_fragment("<a id='1'>new</a>"))
+        assert target.text == "new"
+
+    def test_text_kept_when_source_silent(self):
+        target = parse_fragment("<a id='1'>old</a>")
+        merge_into(target, parse_fragment("<a id='1'/>"))
+        assert target.text == "old"
+
+    def test_deep_merge(self):
+        target = parse_fragment("<a id='1'><b id='1'><c id='1'/></b></a>")
+        source = parse_fragment("<a id='1'><b id='1'><c id='2'/></b></a>")
+        merge_into(target, source)
+        b = target.child("b")
+        assert {c.id for c in b.element_children("c")} == {"1", "2"}
+
+    def test_on_merge_callback_sees_pairs(self):
+        calls = []
+        target = parse_fragment("<a id='1'><b id='1'/></a>")
+        source = parse_fragment("<a id='1'><b id='1'/></a>")
+        merge_into(target, source,
+                   on_merge=lambda t, s: calls.append((t.tag, s.tag)))
+        assert ("a", "a") in calls
+        assert ("b", "b") in calls
+
+    def test_source_not_mutated(self):
+        target = parse_fragment("<a id='1'/>")
+        source = parse_fragment("<a id='1'><b id='9'/></a>")
+        snapshot = source.copy()
+        merge_into(target, source)
+        assert trees_equal(source, snapshot)
+        # Target got a *copy*, not the source's child.
+        assert target.child("b") is not source.child("b")
+
+
+class TestGraft:
+    def test_graft_new_child(self):
+        parent = parse_fragment("<a id='1'/>")
+        grafted = graft(parent, parse_fragment("<b id='2' v='x'/>"))
+        assert grafted.parent is parent
+        assert parent.child("b", id="2").get("v") == "x"
+
+    def test_graft_merges_matching(self):
+        parent = parse_fragment("<a id='1'><b id='2' old='1'/></a>")
+        graft(parent, parse_fragment("<b id='2' new='2'/>"))
+        b = parent.child("b")
+        assert b.get("old") == "1" and b.get("new") == "2"
+        assert len(list(parent.element_children("b"))) == 1
+
+    def test_graft_requires_element(self):
+        with pytest.raises(XmlMergeError):
+            graft(parse_fragment("<a/>"), "not an element")
+
+
+class TestStripMatching:
+    def test_removes_whole_subtrees(self):
+        root = parse_fragment("<a><b drop='1'><c/></b><b/></a>")
+        removed = strip_matching(root, lambda e: e.get("drop") == "1")
+        assert removed == 2  # b and its c
+        assert len(list(root.element_children("b"))) == 1
+
+    def test_never_removes_root(self):
+        root = parse_fragment("<a drop='1'><b/></a>")
+        strip_matching(root, lambda e: e.get("drop") == "1")
+        assert root.tag == "a"

@@ -1,0 +1,204 @@
+"""Unit tests for the XML node model."""
+
+import pytest
+
+from repro.xmlkit import Document, Element, Text, XmlStructureError, is_valid_name
+
+
+class TestNames:
+    def test_simple_names_valid(self):
+        for name in ("a", "usRegion", "parking-space", "x.y", "_hidden", "A1"):
+            assert is_valid_name(name)
+
+    def test_invalid_names(self):
+        for name in ("", "1abc", "-x", ".x", "a b", "a<b", "a&b"):
+            assert not is_valid_name(name)
+
+    def test_element_rejects_bad_tag(self):
+        with pytest.raises(XmlStructureError):
+            Element("1bad")
+
+    def test_element_rejects_bad_attribute(self):
+        with pytest.raises(XmlStructureError):
+            Element("ok", attrib={"1bad": "x"})
+
+    def test_set_rejects_bad_attribute(self):
+        with pytest.raises(XmlStructureError):
+            Element("ok").set("bad name", "x")
+
+
+class TestConstruction:
+    def test_text_constructor(self):
+        element = Element("price", text="25")
+        assert element.text == "25"
+
+    def test_children_constructor(self):
+        child = Element("a")
+        parent = Element("p", children=[child])
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_attrib_copied_not_aliased(self):
+        attrs = {"id": "1"}
+        element = Element("a", attrib=attrs)
+        attrs["id"] = "2"
+        assert element.get("id") == "1"
+
+    def test_set_coerces_to_string(self):
+        element = Element("a")
+        element.set("n", 42)
+        assert element.get("n") == "42"
+
+    def test_id_property(self):
+        assert Element("a", attrib={"id": "x"}).id == "x"
+        assert Element("a").id is None
+
+
+class TestMutation:
+    def test_append_sets_parent(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.parent is parent
+
+    def test_append_attached_node_fails(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        with pytest.raises(XmlStructureError):
+            Element("q").append(child)
+
+    def test_append_non_node_fails(self):
+        with pytest.raises(XmlStructureError):
+            Element("p").append("not a node")
+
+    def test_remove_detaches(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        parent.remove(child)
+        assert child.parent is None
+        assert parent.children == []
+
+    def test_remove_non_child_fails(self):
+        with pytest.raises(XmlStructureError):
+            Element("p").remove(Element("c"))
+
+    def test_detach(self):
+        parent = Element("p")
+        child = parent.append(Element("c"))
+        assert child.detach() is child
+        assert child.parent is None
+        # Detaching twice is a no-op.
+        child.detach()
+
+    def test_clear_children(self):
+        parent = Element("p", children=[Element("a"), Element("b")])
+        kids = list(parent.children)
+        parent.clear_children()
+        assert parent.children == []
+        assert all(k.parent is None for k in kids)
+
+    def test_set_text_replaces_only_text(self):
+        parent = Element("p", text="old")
+        parent.append(Element("keep"))
+        parent.set_text("new")
+        assert parent.text == "new"
+        assert parent.child("keep") is not None
+
+    def test_set_text_none_removes(self):
+        parent = Element("p", text="old")
+        parent.set_text(None)
+        assert parent.text is None
+
+    def test_delete_attribute_noop_when_absent(self):
+        element = Element("a")
+        element.delete_attribute("nope")  # must not raise
+
+
+class TestNavigation:
+    def _tree(self):
+        root = Element("r", attrib={"id": "R"})
+        a = root.append(Element("a", attrib={"id": "1"}))
+        b = root.append(Element("b"))
+        a.append(Element("c", text="deep"))
+        b.append(Element("c", text="other"))
+        return root, a, b
+
+    def test_element_children_filter(self):
+        root, a, b = self._tree()
+        assert list(root.element_children()) == [a, b]
+        assert list(root.element_children("a")) == [a]
+
+    def test_child_by_tag_and_id(self):
+        root, a, _b = self._tree()
+        assert root.child("a") is a
+        assert root.child("a", id="1") is a
+        assert root.child("a", id="2") is None
+
+    def test_iter_visits_all_elements(self):
+        root, *_ = self._tree()
+        assert sum(1 for _ in root.iter()) == 5
+        assert sum(1 for _ in root.iter("c")) == 2
+
+    def test_descendants_excludes_self(self):
+        root, *_ = self._tree()
+        assert root not in list(root.descendants())
+        assert sum(1 for _ in root.descendants()) == 4
+
+    def test_ancestors_and_root(self):
+        root, a, _b = self._tree()
+        c = a.child("c")
+        assert list(c.ancestors()) == [a, root]
+        assert c.root() is root
+        assert c.depth() == 2
+        assert root.depth() == 0
+
+    def test_path_from_root(self):
+        root, a, _b = self._tree()
+        c = a.child("c")
+        assert c.path_from_root() == [root, a, c]
+
+    def test_string_value_concatenates_descendant_text(self):
+        root, *_ = self._tree()
+        assert root.string_value() == "deepother"
+
+    def test_text_none_vs_empty(self):
+        assert Element("a").text is None
+        assert Element("a", text="").text == ""
+
+    def test_size(self):
+        root, *_ = self._tree()
+        assert root.size() == 5
+
+
+class TestCopy:
+    def test_copy_is_deep_and_detached(self):
+        root = Element("r", attrib={"id": "R"})
+        root.append(Element("a", text="x"))
+        clone = root.copy()
+        assert clone.parent is None
+        assert clone is not root
+        assert clone.child("a").text == "x"
+        clone.child("a").set_text("y")
+        assert root.child("a").text == "x"
+
+    def test_shallow_copy(self):
+        root = Element("r", attrib={"id": "R"}, children=[Element("a")])
+        clone = root.shallow_copy()
+        assert clone.attrib == root.attrib
+        assert clone.children == []
+
+    def test_text_copy(self):
+        text = Text("hello")
+        clone = text.copy()
+        assert clone == text and clone is not text
+
+
+class TestDocument:
+    def test_document_requires_element(self):
+        with pytest.raises(XmlStructureError):
+            Document("nope")
+
+    def test_document_copy(self):
+        doc = Document(Element("r", attrib={"id": "1"}))
+        clone = doc.copy()
+        assert clone.root is not doc.root
+        assert clone.root.tag == "r"

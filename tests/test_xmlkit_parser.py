@@ -1,0 +1,160 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.xmlkit import (
+    Document,
+    XmlParseError,
+    parse_document,
+    parse_fragment,
+    serialize,
+)
+
+
+class TestBasics:
+    def test_empty_element(self):
+        element = parse_fragment("<a/>")
+        assert element.tag == "a"
+        assert element.children == []
+
+    def test_open_close(self):
+        assert parse_fragment("<a></a>").tag == "a"
+
+    def test_attributes_double_and_single_quotes(self):
+        element = parse_fragment('<a x="1" y=\'2\'/>')
+        assert element.get("x") == "1"
+        assert element.get("y") == "2"
+
+    def test_paper_at_notation(self):
+        """The paper writes <usRegion @id='NE'>; the @ is accepted."""
+        element = parse_fragment("<usRegion @id='NE'/>")
+        assert element.id == "NE"
+
+    def test_nested_elements(self):
+        element = parse_fragment("<a><b><c/></b><b/></a>")
+        assert len(list(element.element_children("b"))) == 2
+
+    def test_text_content(self):
+        element = parse_fragment("<a>  hello world  </a>")
+        assert element.text == "hello world"
+
+    def test_mixed_text_and_elements(self):
+        element = parse_fragment("<a>pre<b/>post</a>")
+        # Data-centric model: text is consolidated.
+        assert element.child("b") is not None
+        assert "pre" in element.string_value()
+
+    def test_whitespace_only_text_dropped(self):
+        element = parse_fragment("<a>\n  <b/>\n</a>")
+        assert element.text is None
+
+    def test_prolog_and_comments(self):
+        element = parse_fragment(
+            "<?xml version='1.0'?><!-- hi --><a/><!-- bye -->")
+        assert element.tag == "a"
+
+    def test_inner_comments_ignored(self):
+        element = parse_fragment("<a><!-- note --><b/></a>")
+        assert element.child("b") is not None
+
+    def test_doctype_skipped(self):
+        assert parse_fragment("<!DOCTYPE a><a/>").tag == "a"
+
+    def test_cdata(self):
+        element = parse_fragment("<a><![CDATA[x < y & z]]></a>")
+        assert element.text == "x < y & z"
+
+    def test_processing_instruction_inside(self):
+        element = parse_fragment("<a><?pi data?><b/></a>")
+        assert element.child("b") is not None
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        element = parse_fragment("<a>&lt;&gt;&amp;&quot;&apos;</a>")
+        assert element.text == "<>&\"'"
+
+    def test_numeric_entities(self):
+        assert parse_fragment("<a>&#65;&#x42;</a>").text == "AB"
+
+    def test_entities_in_attributes(self):
+        assert parse_fragment("<a x='&amp;&lt;'/>").get("x") == "&<"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a>&nope;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a>&amp</a>")
+
+    def test_bad_char_reference_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a>&#xZZ;</a>")
+
+
+class TestErrors:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XmlParseError) as info:
+            parse_fragment("<a><b></a></b>")
+        assert "mismatched" in str(info.value)
+
+    def test_unclosed_element(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a><b>")
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a x=1/>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a x='1' x='2'/>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a/><b/>")
+
+    def test_not_an_element(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("just text")
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlParseError) as info:
+            parse_fragment("<a>\n<a x=></a></a>")
+        assert info.value.line == 2
+        assert info.value.column > 0
+
+    def test_lt_in_attribute_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<a x='<'/>")
+
+    def test_invalid_element_name(self):
+        with pytest.raises(XmlParseError):
+            parse_fragment("<1a/>")
+
+
+class TestRoundtrip:
+    def test_serialize_parse_roundtrip(self, paper_doc):
+        text = serialize(paper_doc)
+        again = parse_fragment(text)
+        assert serialize(again) == text
+
+    def test_pretty_roundtrip(self, paper_doc):
+        from repro.xmlkit import trees_equal
+
+        pretty = serialize(paper_doc, pretty=True)
+        assert trees_equal(parse_fragment(pretty), paper_doc)
+
+    def test_parse_document_wraps(self):
+        doc = parse_document("<a/>")
+        assert isinstance(doc, Document)
+        assert doc.root.tag == "a"
+
+    def test_parse_file(self, tmp_path):
+        from repro.xmlkit import parse_file, write_file
+
+        path = tmp_path / "doc.xml"
+        write_file(parse_fragment("<a><b id='1'>x</b></a>"), str(path))
+        doc = parse_file(str(path))
+        assert doc.root.child("b").text == "x"

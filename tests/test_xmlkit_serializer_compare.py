@@ -1,0 +1,99 @@
+"""Unit tests for serialization, canonicalization and diffing."""
+
+from repro.xmlkit import (
+    Element,
+    canonical_form,
+    diff_trees,
+    escape_attribute,
+    escape_text,
+    parse_fragment,
+    serialize,
+    tree_hash,
+    trees_equal,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+    def test_serialized_special_chars_roundtrip(self):
+        element = Element("a", attrib={"x": 'v"<'}, text="t<&")
+        again = parse_fragment(serialize(element))
+        assert again.get("x") == 'v"<'
+        assert again.text == "t<&"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_attributes_and_text(self):
+        element = Element("a", attrib={"id": "1"}, text="hi")
+        assert serialize(element) == '<a id="1">hi</a>'
+
+    def test_sorted_attributes_deterministic(self):
+        element = Element("a", attrib={"b": "2", "a": "1"})
+        assert serialize(element, sort_attributes=True) == '<a a="1" b="2"/>'
+
+    def test_pretty_has_indentation(self):
+        element = parse_fragment("<a><b><c/></b></a>")
+        pretty = serialize(element, pretty=True)
+        assert "  <b>" in pretty
+        assert "    <c/>" in pretty
+
+    def test_pretty_inlines_text_only_elements(self):
+        element = parse_fragment("<a><b>text</b></a>")
+        assert "<b>text</b>" in serialize(element, pretty=True)
+
+
+class TestCanonical:
+    def test_sibling_order_irrelevant(self):
+        left = parse_fragment("<a><b id='1'/><c id='2'/></a>")
+        right = parse_fragment("<a><c id='2'/><b id='1'/></a>")
+        assert trees_equal(left, right)
+        assert tree_hash(left) == tree_hash(right)
+
+    def test_attribute_order_irrelevant(self):
+        assert trees_equal(parse_fragment("<a x='1' y='2'/>"),
+                           parse_fragment("<a y='2' x='1'/>"))
+
+    def test_different_text_not_equal(self):
+        assert not trees_equal(parse_fragment("<a>x</a>"),
+                               parse_fragment("<a>y</a>"))
+
+    def test_multiset_semantics(self):
+        left = parse_fragment("<a><b/><b/></a>")
+        right = parse_fragment("<a><b/></a>")
+        assert not trees_equal(left, right)
+
+    def test_deep_reorder(self):
+        left = parse_fragment("<a><b><x/><y/></b></a>")
+        right = parse_fragment("<a><b><y/><x/></b></a>")
+        assert canonical_form(left) == canonical_form(right)
+
+
+class TestDiff:
+    def test_equal_trees_no_diff(self, paper_doc):
+        assert diff_trees(paper_doc, paper_doc.copy()) == []
+
+    def test_attribute_diff_reported(self):
+        left = parse_fragment("<a x='1'/>")
+        right = parse_fragment("<a x='2'/>")
+        problems = diff_trees(left, right)
+        assert len(problems) == 1
+        assert "attributes differ" in problems[0]
+
+    def test_missing_child_reported(self):
+        left = parse_fragment("<a><b id='1'/></a>")
+        right = parse_fragment("<a/>")
+        problems = diff_trees(left, right)
+        assert any("no match" in p for p in problems)
+
+    def test_tag_mismatch_reported(self):
+        problems = diff_trees(parse_fragment("<a/>"), parse_fragment("<b/>"))
+        assert any("tag" in p for p in problems)

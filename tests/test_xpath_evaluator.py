@@ -1,0 +1,280 @@
+"""Unit tests for XPath evaluation: axes, predicates, functions, types."""
+
+import math
+
+import pytest
+
+from repro.xmlkit import Document, Element, parse_fragment
+from repro.xpath import compile_xpath, evaluate_xpath
+from repro.xpath.errors import XPathEvaluationError, XPathTypeError
+from repro.xpath.types import AttributeRef
+
+
+@pytest.fixture
+def doc():
+    return parse_fragment("""
+    <shop id='s1'>
+      <dept id='d1' floor='2'>
+        <item id='i1'><price>10</price><stock>5</stock></item>
+        <item id='i2'><price>20</price><stock>0</stock></item>
+      </dept>
+      <dept id='d2' floor='1'>
+        <item id='i3'><price>15</price><stock>7</stock></item>
+      </dept>
+      <info>general</info>
+    </shop>
+    """)
+
+
+def q(query, node, **kw):
+    return compile_xpath(query).evaluate(node, **kw)
+
+
+class TestAxes:
+    def test_child(self, doc):
+        assert len(q("/shop/dept", doc)) == 2
+
+    def test_child_from_context(self, doc):
+        dept = doc.child("dept")
+        assert len(q("item", dept)) == 2
+
+    def test_descendant_or_self(self, doc):
+        assert len(q("//item", doc)) == 3
+
+    def test_descendant_explicit(self, doc):
+        assert len(q("descendant::item", doc)) == 3
+
+    def test_parent(self, doc):
+        item = q("//item[@id='i1']", doc)[0]
+        assert q("..", item)[0].tag == "dept"
+
+    def test_parent_of_root_is_document(self, doc):
+        document = Document(doc)
+        result = q("/shop/..", document)
+        assert len(result) == 1 and isinstance(result[0], Document)
+
+    def test_ancestor(self, doc):
+        item = q("//item[@id='i3']", doc)[0]
+        tags = [n.tag for n in q("ancestor::*", item)]
+        assert tags == ["dept", "shop"] or sorted(tags) == ["dept", "shop"]
+
+    def test_ancestor_or_self(self, doc):
+        item = q("//item[@id='i3']", doc)[0]
+        assert len(q("ancestor-or-self::*", item)) == 3
+
+    def test_self(self, doc):
+        assert q("self::shop", doc)[0] is doc
+        assert q("self::other", doc) == []
+
+    def test_attribute_axis(self, doc):
+        result = q("/shop/dept/@floor", doc)
+        assert sorted(a.value for a in result) == ["1", "2"]
+        assert all(isinstance(a, AttributeRef) for a in result)
+
+    def test_attribute_wildcard(self, doc):
+        dept = doc.child("dept")
+        assert len(q("@*", dept)) == 2
+
+    def test_wildcard_element(self, doc):
+        assert len(q("/shop/*", doc)) == 3
+
+    def test_text_nodes(self, doc):
+        result = q("/shop/info/text()", doc)
+        assert len(result) == 1 and result[0].value == "general"
+
+    def test_node_test_matches_text_and_elements(self, doc):
+        info = doc.child("info")
+        assert len(q("node()", info)) == 1  # the text node
+
+    def test_dedup_across_paths(self, doc):
+        # Both steps reach the same items; node-set must be deduplicated.
+        result = q("//dept/item | /shop/dept/item", doc)
+        assert len(result) == 3
+
+
+class TestPredicates:
+    def test_attribute_equality(self, doc):
+        assert len(q("//dept[@floor='2']", doc)) == 1
+
+    def test_child_value_comparison(self, doc):
+        assert len(q("//item[price > 12]", doc)) == 2
+
+    def test_nested_predicates(self, doc):
+        assert len(q("/shop[dept[@floor='1']]", doc)) == 1
+
+    def test_boolean_connectives(self, doc):
+        assert len(q("//item[price > 5 and stock > 0]", doc)) == 2
+        assert len(q("//item[price > 18 or stock > 6]", doc)) == 2
+
+    def test_existence_predicate(self, doc):
+        assert len(q("//item[stock]", doc)) == 3
+        assert len(q("//item[missing]", doc)) == 0
+
+    def test_not_function(self, doc):
+        assert len(q("//item[not(stock > 0)]", doc)) == 1
+
+    def test_relative_parent_reference(self, doc):
+        # Cheapest item per dept, the paper's min() workaround: ".."
+        # scopes the comparison to each item's own department.
+        result = q("//item[not(price > ../item/price)]", doc)
+        assert [n.id for n in result] == ["i1", "i3"]
+
+    def test_multiple_predicates_conjoin(self, doc):
+        assert len(q("//item[price > 5][stock > 0]", doc)) == 2
+
+
+class TestCoreFunctions:
+    def test_count(self, doc):
+        assert q("count(//item)", doc) == 3.0
+
+    def test_sum(self, doc):
+        assert q("sum(//price)", doc) == 45.0
+
+    def test_name(self, doc):
+        assert q("name(/shop)", doc) == "shop"
+
+    def test_string_of_element(self, doc):
+        assert q("string(//item[@id='i1']/price)", doc) == "10"
+
+    def test_concat_contains_starts(self, doc):
+        assert q("concat('a', 'b', 'c')", doc) == "abc"
+        assert q("contains('hello', 'ell')", doc) is True
+        assert q("starts-with('hello', 'he')", doc) is True
+
+    def test_substring_family(self, doc):
+        assert q("substring('12345', 2, 3)", doc) == "234"
+        assert q("substring('12345', 2)", doc) == "2345"
+        assert q("substring-before('a=b', '=')", doc) == "a"
+        assert q("substring-after('a=b', '=')", doc) == "b"
+
+    def test_substring_rounding_rules(self, doc):
+        # Spec example: substring('12345', 1.5, 2.6) returns '234'.
+        assert q("substring('12345', 1.5, 2.6)", doc) == "234"
+
+    def test_string_length_and_normalize(self, doc):
+        assert q("string-length('abc')", doc) == 3.0
+        assert q("normalize-space('  a   b ')", doc) == "a b"
+
+    def test_translate(self, doc):
+        assert q("translate('bar', 'abc', 'ABC')", doc) == "BAr"
+        assert q("translate('--aaa--', 'a-', 'A')", doc) == "AAA"
+
+    def test_number_conversions(self, doc):
+        assert q("number('12.5')", doc) == 12.5
+        assert math.isnan(q("number('abc')", doc))
+        assert q("number(true())", doc) == 1.0
+
+    def test_floor_ceiling_round(self, doc):
+        assert q("floor(2.7)", doc) == 2.0
+        assert q("ceiling(2.1)", doc) == 3.0
+        assert q("round(2.5)", doc) == 3.0
+        assert q("round(-2.5)", doc) == -2.0  # XPath rounds .5 toward +inf
+
+    def test_boolean_true_false(self, doc):
+        assert q("boolean(//item)", doc) is True
+        assert q("boolean(//missing)", doc) is False
+        assert q("true()", doc) is True
+        assert q("false()", doc) is False
+
+    def test_unknown_function_raises(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            q("fancy(1)", doc)
+
+    def test_arity_checked(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            q("count()", doc)
+
+    def test_timestamp_extension(self, doc):
+        doc.set("timestamp", "123.5")
+        assert q("timestamp()", doc) == 123.5
+
+    def test_timestamp_climbs_ancestors(self, doc):
+        doc.set("timestamp", "99.0")
+        item = q("//item[@id='i1']", doc)[0]
+        assert q("timestamp()", item) == 99.0
+
+    def test_current_time_uses_context(self, doc):
+        assert q("current-time()", doc, now=42.0) == 42.0
+
+    def test_current_time_without_clock_raises(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            q("current-time()", doc)
+
+
+class TestArithmeticAndComparison:
+    def test_arithmetic(self, doc):
+        assert q("1 + 2 * 3", doc) == 7.0
+        assert q("10 div 4", doc) == 2.5
+        assert q("7 mod 3", doc) == 1.0
+        assert q("-7 mod 3", doc) == -1.0  # truncating, not floor
+
+    def test_division_by_zero(self, doc):
+        assert q("1 div 0", doc) == math.inf
+        assert q("-1 div 0", doc) == -math.inf
+        assert math.isnan(q("0 div 0", doc))
+
+    def test_node_set_to_number_comparison(self, doc):
+        assert q("//price > 19", doc) is True  # existential
+        assert q("//price > 100", doc) is False
+
+    def test_node_set_to_node_set_comparison(self, doc):
+        # Exists a price equal to a stock value? (5,0,7 vs 10,20,15) -> no.
+        assert q("//price = //stock", doc) is False
+
+    def test_string_comparison(self, doc):
+        assert q("'a' = 'a'", doc) is True
+        assert q("'a' != 'b'", doc) is True
+
+    def test_boolean_comparison_with_node_set(self, doc):
+        assert q("//item = true()", doc) is True
+        assert q("//missing = false()", doc) is True
+
+    def test_union_type_error(self, doc):
+        with pytest.raises(XPathTypeError):
+            q("1 | 2", doc)
+
+    def test_variables(self, doc):
+        assert q("$x + 1", doc, variables={"x": 2.0}) == 3.0
+
+    def test_unbound_variable(self, doc):
+        with pytest.raises(XPathEvaluationError):
+            q("$nope", doc)
+
+
+class TestCompileApi:
+    def test_select_requires_node_set(self, doc):
+        with pytest.raises(XPathTypeError):
+            compile_xpath("count(//item)").select(doc)
+
+    def test_evaluate_xpath_shortcut(self, doc):
+        assert evaluate_xpath("count(//dept)", doc) == 2.0
+
+    def test_query_equality_by_ast(self):
+        assert compile_xpath("/a/b") == compile_xpath("/a/b")
+        assert compile_xpath("/a / b") == compile_xpath("/a/b")
+
+    def test_is_absolute(self):
+        assert compile_xpath("/a").is_absolute
+        assert not compile_xpath("a").is_absolute
+
+    def test_extension_functions(self, doc):
+        query = compile_xpath(
+            "double(count(//item))",
+            extension_functions={
+                "double": lambda ctx, args: 2 * args[0],
+            },
+        )
+        assert query.evaluate(doc) == 6.0
+
+    def test_paper_figure_2_and_3(self, paper_doc):
+        """Figure 2's query over Figure 3's fragment returns space 1."""
+        query = compile_xpath(
+            "/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+            "/city[@id='Pittsburgh']"
+            "/neighborhood[@id='Oakland' OR @id='Shadyside']"
+            "/block[@id='1']/parkingSpace[available='yes']"
+        )
+        result = query.select(paper_doc)
+        oakland = [r for r in result
+                   if r.parent.parent.id == "Oakland"]
+        assert [r.id for r in oakland] == ["1"]

@@ -1,0 +1,126 @@
+"""Unit tests for the XPath tokenizer, especially disambiguation."""
+
+import pytest
+
+from repro.xpath.errors import XPathSyntaxError
+from repro.xpath import lexer
+
+
+def kinds(source):
+    return [t.kind for t in lexer.tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in lexer.tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_path_tokens(self):
+        assert kinds("/a/b") == [lexer.SLASH, lexer.NAME, lexer.SLASH,
+                                 lexer.NAME]
+
+    def test_double_slash(self):
+        assert kinds("//a") == [lexer.DOUBLE_SLASH, lexer.NAME]
+
+    def test_predicates_and_attribute(self):
+        assert kinds("a[@id='x']") == [
+            lexer.NAME, lexer.LBRACKET, lexer.AT, lexer.NAME, lexer.EQ,
+            lexer.LITERAL, lexer.RBRACKET,
+        ]
+
+    def test_comparison_operators(self):
+        assert kinds("a < b <= c > d >= e != f = g") == [
+            lexer.NAME, lexer.LT, lexer.NAME, lexer.LE, lexer.NAME,
+            lexer.GT, lexer.NAME, lexer.GE, lexer.NAME, lexer.NEQ,
+            lexer.NAME, lexer.EQ, lexer.NAME,
+        ]
+
+    def test_numbers(self):
+        assert values("1 2.5 .75") == [1.0, 2.5, 0.75]
+
+    def test_string_literals_both_quotes(self):
+        assert values("'abc' \"def\"") == ["abc", "def"]
+
+    def test_variable(self):
+        tokens = lexer.tokenize("$foo")
+        assert tokens[0].kind == lexer.VARIABLE
+        assert tokens[0].value == "foo"
+
+    def test_dot_and_dotdot(self):
+        assert kinds(". ..") == [lexer.DOT, lexer.DOTDOT]
+
+    def test_dot_before_digit_is_number(self):
+        assert kinds(".5") == [lexer.NUMBER]
+
+    def test_union(self):
+        assert kinds("a | b") == [lexer.NAME, lexer.PIPE, lexer.NAME]
+
+
+class TestDisambiguation:
+    def test_star_as_wildcard_after_slash(self):
+        assert kinds("/*") == [lexer.SLASH, lexer.STAR]
+
+    def test_star_as_multiply_after_operand(self):
+        assert kinds("2 * 3") == [lexer.NUMBER, lexer.MULTIPLY, lexer.NUMBER]
+
+    def test_and_or_as_operators(self):
+        assert kinds("a and b or c") == [
+            lexer.NAME, lexer.AND, lexer.NAME, lexer.OR, lexer.NAME,
+        ]
+
+    def test_uppercase_or_accepted(self):
+        """The paper's figures write OR in uppercase."""
+        assert kinds("a OR b") == [lexer.NAME, lexer.OR, lexer.NAME]
+
+    def test_and_as_element_name_after_slash(self):
+        assert kinds("/and") == [lexer.SLASH, lexer.NAME]
+        assert values("/and") == ["/", "and"]
+
+    def test_div_mod(self):
+        assert kinds("4 div 2 mod 2") == [
+            lexer.NUMBER, lexer.DIV, lexer.NUMBER, lexer.MOD, lexer.NUMBER,
+        ]
+
+    def test_function_name(self):
+        tokens = lexer.tokenize("count(a)")
+        assert tokens[0].kind == lexer.FUNCTION
+        assert tokens[1].kind == lexer.LPAREN
+
+    def test_node_type(self):
+        tokens = lexer.tokenize("text()")
+        assert tokens[0].kind == lexer.NODETYPE
+
+    def test_axis(self):
+        tokens = lexer.tokenize("ancestor::a")
+        assert tokens[0].kind == lexer.AXIS
+        assert tokens[0].value == "ancestor"
+
+    def test_function_with_space_before_paren(self):
+        tokens = lexer.tokenize("count (a)")
+        assert tokens[0].kind == lexer.FUNCTION
+
+    def test_name_with_hyphen(self):
+        assert values("available-spaces") == ["available-spaces"]
+
+
+class TestErrors:
+    def test_illegal_character(self):
+        with pytest.raises(XPathSyntaxError):
+            lexer.tokenize("a # b")
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            lexer.tokenize("'abc")
+
+    def test_bang_without_equals(self):
+        with pytest.raises(XPathSyntaxError):
+            lexer.tokenize("a ! b")
+
+    def test_dollar_without_name(self):
+        with pytest.raises(XPathSyntaxError):
+            lexer.tokenize("$1")
+
+    def test_error_offset(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            lexer.tokenize("abc #")
+        assert info.value.offset == 4

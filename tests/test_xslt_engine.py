@@ -1,0 +1,276 @@
+"""Unit tests for the mini-XSLT engine."""
+
+import pytest
+
+from repro.xmlkit import Element, parse_fragment, serialize, trees_equal
+from repro.xslt import (
+    MatchPattern,
+    StylesheetError,
+    TransformError,
+    compile_stylesheet,
+    transform,
+)
+
+
+def apply(sheet_xml, doc_xml, **kw):
+    sheet = compile_stylesheet(sheet_xml)
+    roots = transform(sheet, parse_fragment(doc_xml), **kw)
+    return roots
+
+
+class TestMatchPatterns:
+    @pytest.fixture
+    def doc(self):
+        return parse_fragment(
+            "<a id='1'><b id='x'><c/></b><b id='y'/><d><c/></d></a>")
+
+    def test_name_pattern(self, doc):
+        pattern = MatchPattern("b")
+        assert pattern.matches(doc.child("b", id="x"))
+        assert not pattern.matches(doc)
+
+    def test_wildcard(self, doc):
+        assert MatchPattern("*").matches(doc)
+
+    def test_path_pattern(self, doc):
+        pattern = MatchPattern("b/c")
+        b_c = doc.child("b", id="x").child("c")
+        d_c = doc.child("d").child("c")
+        assert pattern.matches(b_c)
+        assert not pattern.matches(d_c)
+
+    def test_absolute_pattern(self, doc):
+        assert MatchPattern("/a").matches(doc)
+        assert not MatchPattern("/b").matches(doc.child("b", id="x"))
+
+    def test_descendant_pattern(self, doc):
+        pattern = MatchPattern("a//c")
+        assert pattern.matches(doc.child("b", id="x").child("c"))
+        assert pattern.matches(doc.child("d").child("c"))
+
+    def test_predicate_pattern(self, doc):
+        pattern = MatchPattern("b[@id='x']")
+        assert pattern.matches(doc.child("b", id="x"))
+        assert not pattern.matches(doc.child("b", id="y"))
+
+    def test_root_pattern(self, doc):
+        from repro.xmlkit import Document
+
+        assert MatchPattern("/").matches(Document(doc))
+        assert not MatchPattern("/").matches(doc)
+
+    def test_text_pattern(self):
+        doc = parse_fragment("<a>hello</a>")
+        assert MatchPattern("text()").matches(doc.children[0])
+
+    def test_priorities(self):
+        assert MatchPattern("b[@id='x']").default_priority == 0.5
+        assert MatchPattern("b/c").default_priority == 0.5
+        assert MatchPattern("b").default_priority == 0.0
+        assert MatchPattern("*").default_priority == -0.25
+        assert MatchPattern("text()").default_priority == -0.5
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(StylesheetError):
+            MatchPattern("ancestor::a")
+
+
+class TestTransforms:
+    def test_identityish_copy(self):
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<copy-of select='/a'/></template></stylesheet>",
+            "<a id='1'><b>t</b></a>")
+        assert trees_equal(roots[0], parse_fragment("<a id='1'><b>t</b></a>"))
+
+    def test_value_of(self):
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<out><value-of select='count(//b)'/></out></template>"
+            "</stylesheet>",
+            "<a><b/><b/></a>")
+        assert roots[0].text == "2"
+
+    def test_templates_and_modes(self):
+        roots = apply(
+            "<stylesheet>"
+            "<template match='/'><r>"
+            "<apply-templates select='/a/b' mode='loud'/></r></template>"
+            "<template match='b' mode='loud'><B/></template>"
+            "<template match='b'><quiet/></template>"
+            "</stylesheet>",
+            "<a><b/><b/></a>")
+        assert serialize(roots[0]) == "<r><B/><B/></r>"
+
+    def test_builtin_rules_recurse(self):
+        # No template for <a>: built-in rule descends and copies text.
+        roots = apply(
+            "<stylesheet><template match='b'><hit/></template></stylesheet>",
+            "<a>noise<b/></a>")
+        tags = [r.tag for r in roots if isinstance(r, Element)]
+        assert tags == ["hit"]
+
+    def test_if_and_choose(self):
+        roots = apply(
+            "<stylesheet><template match='item'>"
+            "<choose>"
+            "<when test=\"@kind='x'\"><x/></when>"
+            "<when test=\"@kind='y'\"><y/></when>"
+            "<otherwise><z/></otherwise>"
+            "</choose>"
+            "<if test='@extra'><extra/></if>"
+            "</template></stylesheet>",
+            "<r><item kind='x'/><item kind='y' extra='1'/><item/></r>")
+        tags = [r.tag for r in roots if isinstance(r, Element)]
+        assert tags == ["x", "y", "extra", "z"]
+
+    def test_copy_shallow_with_body(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<copy><inner/></copy></template></stylesheet>",
+            "<a id='7'><dropped/></a>")
+        assert serialize(roots[0]) == '<a id="7"><inner/></a>'
+
+    def test_element_and_attribute_constructors(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<element name='made'>"
+            "<attribute name='n' select='count(*)'/>"
+            "<attribute name='fixed'>v</attribute>"
+            "</element></template></stylesheet>",
+            "<a><b/><b/></a>")
+        assert roots[0].get("n") == "2"
+        assert roots[0].get("fixed") == "v"
+
+    def test_for_each(self):
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<r><for-each select='//b'><item>"
+            "<value-of select='@id'/></item></for-each></r>"
+            "</template></stylesheet>",
+            "<a><b id='1'/><b id='2'/></a>")
+        assert [c.text for c in roots[0].element_children()] == ["1", "2"]
+
+    def test_literal_elements_with_attributes(self):
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<report kind='summary'><value-of select='name(/a)'/></report>"
+            "</template></stylesheet>",
+            "<a/>")
+        assert roots[0].get("kind") == "summary"
+        assert roots[0].text == "a"
+
+    def test_variables_reach_expressions(self):
+        roots = apply(
+            "<stylesheet><template match='b'>"
+            "<if test='@id = $wanted'><hit/></if>"
+            "</template></stylesheet>",
+            "<a><b id='1'/><b id='2'/></a>",
+            variables={"wanted": "2"})
+        assert len([r for r in roots if isinstance(r, Element)]) == 1
+
+    def test_last_definition_wins_ties(self):
+        roots = apply(
+            "<stylesheet>"
+            "<template match='b'><first/></template>"
+            "<template match='b'><second/></template>"
+            "</stylesheet>",
+            "<a><b/></a>")
+        assert [r.tag for r in roots if isinstance(r, Element)] == ["second"]
+
+    def test_priority_attribute_overrides(self):
+        roots = apply(
+            "<stylesheet>"
+            "<template match='b' priority='2'><strong/></template>"
+            "<template match=\"b[@id='1']\"><weak/></template>"
+            "</stylesheet>",
+            "<a><b id='1'/></a>")
+        assert [r.tag for r in roots if isinstance(r, Element)] == ["strong"]
+
+
+class TestStylesheetErrors:
+    def test_requires_stylesheet_root(self):
+        with pytest.raises(StylesheetError):
+            compile_stylesheet("<template match='a'/>")
+
+    def test_template_requires_match(self):
+        with pytest.raises(StylesheetError):
+            compile_stylesheet("<stylesheet><template/></stylesheet>")
+
+    def test_bad_expression_reported(self):
+        with pytest.raises(StylesheetError):
+            compile_stylesheet(
+                "<stylesheet><template match='a'>"
+                "<value-of select='///'/></template></stylesheet>")
+
+    def test_stray_when_rejected(self):
+        with pytest.raises(StylesheetError):
+            compile_stylesheet(
+                "<stylesheet><template match='a'>"
+                "<when test='1'/></template></stylesheet>")
+
+    def test_attribute_outside_element_fails_at_runtime(self):
+        sheet = compile_stylesheet(
+            "<stylesheet><template match='/'>"
+            "<attribute name='x'>v</attribute></template></stylesheet>")
+        with pytest.raises(TransformError):
+            transform(sheet, parse_fragment("<a/>"))
+
+
+class TestLessCommonInstructions:
+    def test_copy_of_attribute_attaches_to_current_element(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<out><copy-of select='@id'/></out></template></stylesheet>",
+            "<a id='7'/>")
+        assert roots[0].get("id") == "7"
+
+    def test_copy_of_scalar_becomes_text(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<out><copy-of select='1 + 2'/></out></template></stylesheet>",
+            "<a/>")
+        assert roots[0].text == "3"
+
+    def test_value_of_attribute(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<out><value-of select='@id'/></out></template></stylesheet>",
+            "<a id='42'/>")
+        assert roots[0].text == "42"
+
+    def test_copy_on_document_runs_body(self):
+        sheet = compile_stylesheet(
+            "<stylesheet><template match='/'>"
+            "<copy><made/></copy></template></stylesheet>")
+        from repro.xmlkit import Document
+
+        roots = transform(sheet, Document(parse_fragment("<a/>")))
+        assert [r.tag for r in roots if isinstance(r, Element)] == ["made"]
+
+    def test_copy_of_text_node(self):
+        roots = apply(
+            "<stylesheet><template match='a'>"
+            "<out><copy-of select='text()'/></out></template></stylesheet>",
+            "<a>payload</a>")
+        assert roots[0].text == "payload"
+
+    def test_nested_for_each_contexts(self):
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<r><for-each select='//shelfish'>"
+            "<s><attribute name='n' select='count(item)'/></s>"
+            "</for-each></r></template></stylesheet>",
+            "<x><shelfish><item/><item/></shelfish>"
+            "<shelfish><item/></shelfish></x>")
+        counts = [c.get("n") for c in roots[0].element_children()]
+        assert counts == ["2", "1"]
+
+    def test_apply_templates_to_attributes_uses_builtin(self):
+        # Built-in rule for attribute nodes: copy the value as text.
+        roots = apply(
+            "<stylesheet><template match='/'>"
+            "<out><apply-templates select='//a/@id'/></out>"
+            "</template></stylesheet>",
+            "<a id='77'/>")
+        assert roots[0].text == "77"

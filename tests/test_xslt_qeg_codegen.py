@@ -1,0 +1,163 @@
+"""Tests that the XSLT QEG programs agree with the core walker."""
+
+import pytest
+
+from repro.core import PartitionPlan, compile_pattern, run_qeg
+from repro.xslt import (
+    FastQEGCodegen,
+    StylesheetError,
+    create_naive,
+    generate_qeg_stylesheet,
+    run_qeg_stylesheet,
+    subquery_strings,
+)
+
+from tests.conftest import OAKLAND, SHADYSIDE, id_path
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+
+
+@pytest.fixture
+def dbs(paper_doc):
+    plan = PartitionPlan({
+        "top": [id_path("usRegion=NE")],
+        "oak": [OAKLAND],
+        "shady": [SHADYSIDE],
+    })
+    return plan.build_databases(paper_doc)
+
+
+QUERIES = [
+    PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']",
+    PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']"
+             "/parkingSpace[available='yes']",
+    PREFIX + "/neighborhood[@id='Oakland' or @id='Shadyside']"
+             "/block[@id='1']/parkingSpace[available='yes']",
+    PREFIX + "/neighborhood/block[@id='2']",
+    PREFIX + "/neighborhood[@id='Nowhere']/block",
+]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("site", ["top", "oak", "shady"])
+    def test_same_subqueries_as_walker(self, dbs, paper_schema, site, query):
+        pattern = compile_pattern(query, schema=paper_schema)
+        stylesheet, variables = create_naive(pattern)
+        _roots, placeholders = run_qeg_stylesheet(
+            stylesheet, dbs[site], variables=variables)
+        xslt_subqueries = set(subquery_strings(pattern, placeholders))
+        walker = run_qeg(dbs[site], pattern)
+        walker_subqueries = {s.query for s in walker.subqueries}
+        assert xslt_subqueries == walker_subqueries
+
+    def test_annotated_answer_contains_result(self, dbs, paper_schema):
+        pattern = compile_pattern(QUERIES[1], schema=paper_schema)
+        stylesheet, variables = create_naive(pattern)
+        roots, _ = run_qeg_stylesheet(stylesheet, dbs["oak"],
+                                      variables=variables)
+        spaces = [n for n in roots[0].iter("parkingSpace")]
+        assert [s.id for s in spaces] == ["1"]
+
+
+class TestFastCreation:
+    def test_cache_hit_on_same_shape(self, dbs, paper_schema):
+        codegen = FastQEGCodegen()
+        first = compile_pattern(QUERIES[0], schema=paper_schema)
+        other = compile_pattern(
+            PREFIX.replace("Pittsburgh", "Etna")
+            + "/neighborhood[@id='Riverfront']/block[@id='3']",
+            schema=paper_schema)
+        codegen.create(first)
+        codegen.create(other)
+        assert codegen.stats == {"hits": 1, "misses": 1}
+
+    def test_different_shapes_miss(self, dbs, paper_schema):
+        codegen = FastQEGCodegen()
+        codegen.create(compile_pattern(QUERIES[0], schema=paper_schema))
+        codegen.create(compile_pattern(QUERIES[1], schema=paper_schema))
+        assert codegen.stats["misses"] == 2
+
+    def test_fast_and_naive_agree(self, dbs, paper_schema):
+        pattern = compile_pattern(QUERIES[2], schema=paper_schema)
+        naive_sheet, naive_vars = create_naive(pattern)
+        codegen = FastQEGCodegen()
+        codegen.create(compile_pattern(QUERIES[2], schema=paper_schema))
+        fast_sheet, fast_vars = codegen.create(pattern)
+        for site in ("top", "oak"):
+            _r1, p1 = run_qeg_stylesheet(naive_sheet, dbs[site],
+                                         variables=naive_vars)
+            _r2, p2 = run_qeg_stylesheet(fast_sheet, dbs[site],
+                                         variables=fast_vars)
+            assert sorted(subquery_strings(pattern, p1)) == \
+                sorted(subquery_strings(pattern, p2))
+
+    def test_fast_is_much_cheaper(self, paper_schema):
+        import time
+
+        codegen = FastQEGCodegen()
+        pattern = compile_pattern(QUERIES[0], schema=paper_schema)
+        started = time.perf_counter()
+        codegen.create(pattern)
+        miss_cost = time.perf_counter() - started
+        started = time.perf_counter()
+        codegen.create(pattern)
+        hit_cost = time.perf_counter() - started
+        assert hit_cost < miss_cost
+
+
+class TestLimitations:
+    def test_descendant_queries_delegated_to_walker(self, paper_schema):
+        pattern = compile_pattern("/usRegion[@id='NE']//parkingSpace",
+                                  schema=paper_schema)
+        with pytest.raises(StylesheetError):
+            generate_qeg_stylesheet(pattern)
+
+    def test_unseparable_predicates_delegated(self, paper_schema):
+        pattern = compile_pattern(
+            PREFIX + "/neighborhood[@id='Oakland' or @zipcode='15213']",
+            schema=paper_schema)
+        with pytest.raises(StylesheetError):
+            generate_qeg_stylesheet(pattern)
+
+
+class TestConsistencyCodegen:
+    """The XSLT programs honour consistency predicates like the walker."""
+
+    def _cache_oakland_at_top(self, dbs, paper_schema, timestamp):
+        from repro.core import run_qeg
+
+        remote = run_qeg(dbs["oak"], compile_pattern(
+            PREFIX + "/neighborhood[@id='Oakland']", paper_schema))
+        dbs["top"].store_fragment(remote.answer)
+        dbs["top"].find(
+            tuple(PREFIX_PATH)).set("timestamp", repr(float(timestamp)))
+
+    def test_stale_cache_asks_fresh_cache_answers(self, dbs, paper_schema):
+        from repro.core import run_qeg
+        from tests.conftest import OAKLAND as OAK_PATH
+
+        remote = run_qeg(dbs["oak"], compile_pattern(
+            PREFIX + "/neighborhood[@id='Oakland']", paper_schema))
+        dbs["top"].store_fragment(remote.answer)
+        element = dbs["top"].find(OAK_PATH)
+
+        query = (PREFIX + "/neighborhood[@id='Oakland']"
+                 "[timestamp() > current-time() - 30]/block")
+        pattern = compile_pattern(query, schema=paper_schema)
+        stylesheet, variables = create_naive(pattern)
+
+        for timestamp, expect_ask in ((995.0, False), (900.0, True)):
+            element.set("timestamp", repr(timestamp))
+            _roots, placeholders = run_qeg_stylesheet(
+                stylesheet, dbs["top"], variables=variables, now=1000.0)
+            walker = run_qeg(dbs["top"], pattern, now=1000.0)
+            assert bool(placeholders) == expect_ask
+            assert sorted(subquery_strings(pattern, placeholders)) == \
+                sorted(s.query for s in walker.subqueries)
+
+
+PREFIX_PATH = (("usRegion", "NE"), ("state", "PA"),
+               ("county", "Allegheny"), ("city", "Pittsburgh"),
+               ("neighborhood", "Oakland"))
