@@ -32,7 +32,13 @@ from repro.core.errors import (
     UnknownNodeError,
     UnsupportedDistributedQueryError,
 )
+from repro.core.executors import (
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
 from repro.core.gather import GatherDriver, GatherError, GatherOutcome
+from repro.core.lru import LRUCache
 from repro.core.idable import (
     find_by_id_path,
     format_id_path,
@@ -104,6 +110,10 @@ __all__ = [
     "run_qeg",
     "FETCH_SUBTREE",
     "BOOLEAN_PROBE",
+    "LRUCache",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
     "GENERALIZE_ANSWER",
     "GENERALIZE_AGGRESSIVE",
     "is_idable",

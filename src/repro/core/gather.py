@@ -20,9 +20,12 @@ was enforced during gathering) and keeping matches whose subtrees are
 materialized.
 """
 
+import threading
+
 from repro.core.aggregates import AggregateCache
 from repro.core.database import SensorDatabase
 from repro.core.errors import CoreError
+from repro.core.executors import resolve_executor
 from repro.core.idable import idable_children, lowest_idable_ancestor_or_self
 from repro.core.qeg import (
     FETCH_SUBTREE,
@@ -119,25 +122,42 @@ class GatherDriver:
     means the remote had nothing.  *cache_results* controls whether
     gathered fragments are merged into the site database (the paper's
     default) or into a per-query overlay.
+
+    Each round's pending subqueries are independent, so they are
+    dispatched concurrently through *executor* (the shared threaded
+    executor by default; pass ``"serial"`` or a
+    :class:`~repro.core.executors.SerialExecutor` for strictly
+    sequential dispatch).  *send_many*, when given, overrides the
+    executor for whole rounds: it receives the round's pending
+    subqueries and returns their replies in the same order -- the hook
+    the network layer uses to batch asks per destination site.
+    Regardless of dispatch order, replies are merged back in subquery
+    emission order, so gathered answers are identical under any
+    executor.
     """
 
     MAX_ROUNDS = 12
 
     def __init__(self, database, send, schema=None, cache_results=True,
                  nesting_strategy=FETCH_SUBTREE,
-                 generalization=GENERALIZE_ANSWER):
+                 generalization=GENERALIZE_ANSWER,
+                 executor=None, send_many=None):
         self.database = database
         self.send = send
         self.schema = schema
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.generalization = generalization
+        self.executor = resolve_executor(executor)
+        self.send_many = send_many
         self.aggregates = AggregateCache(database.clock)
+        self._stats_lock = threading.Lock()
         self.stats = {
             "queries": 0,
             "rounds": 0,
             "subqueries_sent": 0,
             "local_hits": 0,
+            "max_fanout": 0,
         }
 
     # ------------------------------------------------------------------
@@ -170,6 +190,7 @@ class GatherDriver:
         answered_keys = set()
         sent = []
         rounds = 0
+        max_fanout = 0
         result = None
         for rounds in range(1, self.MAX_ROUNDS + 1):
             result = run_qeg(view, pattern, now=now,
@@ -189,8 +210,13 @@ class GatherDriver:
             ]
             if not pending:
                 break
-            for subquery in pending:
-                reply = self.send(subquery)
+            max_fanout = max(max_fanout, len(pending))
+            # Fan the round out (possibly in parallel / batched), then
+            # merge the replies back in emission order: the merged view
+            # -- and hence the final answer -- never depends on reply
+            # arrival order.
+            replies = self._dispatch_round(pending)
+            for subquery, reply in zip(pending, replies):
                 sent.append(subquery)
                 answered.append(subquery)
                 answered_keys.add((subquery.query, subquery.scalar))
@@ -203,12 +229,23 @@ class GatherDriver:
                 f"gathering {pattern.source!r} did not converge within "
                 f"{self.MAX_ROUNDS} rounds"
             )
-        self.stats["queries"] += 1
-        self.stats["rounds"] += rounds
-        self.stats["subqueries_sent"] += len(sent)
-        if not sent:
-            self.stats["local_hits"] += 1
+        with self._stats_lock:
+            self.stats["queries"] += 1
+            self.stats["rounds"] += rounds
+            self.stats["subqueries_sent"] += len(sent)
+            self.stats["max_fanout"] = max(self.stats["max_fanout"],
+                                           max_fanout)
+            if not sent:
+                self.stats["local_hits"] += 1
         return GatherOutcome(pattern, result.answer, rounds, sent, view)
+
+    def _dispatch_round(self, pending):
+        """Send one round's subqueries; replies come back in input order."""
+        if len(pending) == 1:
+            return [self.send(pending[0])]
+        if self.send_many is not None:
+            return self.send_many(pending)
+        return self.executor.map(self.send, pending)
 
     # ------------------------------------------------------------------
     def answer_user_query(self, query, now=None):

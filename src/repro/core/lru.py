@@ -1,0 +1,59 @@
+"""A small thread-safe bounded LRU cache.
+
+Shared by the pattern-compile cache (:mod:`repro.core.qeg`) and other
+bounded lookaside stores.  Entries are evicted least-recently-used
+first once ``max_entries`` is exceeded; hits refresh recency.  All
+operations take an internal lock so cached objects can be shared by
+the parallel gather fan-out.
+"""
+
+import threading
+from collections import OrderedDict
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, max_entries=256):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats["misses"] += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats["evictions"] += 1
+
+    def clear(self):
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def __repr__(self):
+        return (f"LRUCache({len(self)}/{self.max_entries}, "
+                f"hits={self.stats['hits']}, misses={self.stats['misses']}, "
+                f"evictions={self.stats['evictions']})")

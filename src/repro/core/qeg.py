@@ -45,6 +45,7 @@ Nesting depth > 0 (Section 4) is handled by either of two strategies:
 """
 
 from repro.core.answer import AnswerBuilder, Subquery
+from repro.core.lru import LRUCache
 from repro.core.consistency import (
     rewrite_consistency_sugar,
     strip_consistency_predicates,
@@ -222,13 +223,43 @@ class CompiledPattern:
         return f"CompiledPattern({self.source!r})"
 
 
-def compile_pattern(query, schema=None, rewrite_sugar=True):
+#: Compiled patterns for schema-less compilation, shared process-wide.
+#: Schema-aware compilations are cached on the schema object instead
+#: (see :class:`~repro.core.schema.HierarchySchema`), which both keeps
+#: keys collision-free across schemas and lets schema evolution
+#: invalidate exactly the affected entries.
+PATTERN_CACHE = LRUCache(max_entries=256)
+
+
+def _pattern_cache_for(schema):
+    if schema is None:
+        return PATTERN_CACHE
+    # Duck-typed schemas without a cache simply compile every time.
+    return getattr(schema, "compiled_patterns", None)
+
+
+def compile_pattern(query, schema=None, rewrite_sugar=True, use_cache=True):
     """Compile *query* (a string or AST) for distributed evaluation.
 
     *schema* (a :class:`~repro.core.schema.HierarchySchema`) sharpens
     the IDable-tag knowledge used by the nesting analysis; without it,
     every element name is conservatively treated as IDable.
+
+    String queries are served from a bounded LRU compile cache (the
+    global :data:`PATTERN_CACHE`, or the schema's own cache when a
+    schema is given) so repeated queries skip the parse/unparse/codegen
+    path; compiled patterns are immutable and safe to share.  Pass
+    ``use_cache=False`` to force a fresh compilation.
     """
+    cache = None
+    cache_key = None
+    if use_cache and isinstance(query, str):
+        cache = _pattern_cache_for(schema)
+        if cache is not None:
+            cache_key = (query, rewrite_sugar)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
     if isinstance(query, str):
         source = query
         ast = xpath_parser.parse(query)
@@ -286,8 +317,11 @@ def compile_pattern(query, schema=None, rewrite_sugar=True):
                 collect_index = target
 
     extraction_ast = strip_consistency_predicates(ast)
-    return CompiledPattern(source, ast, items, extraction_ast, collect_index,
-                           is_idable_tag)
+    pattern = CompiledPattern(source, ast, items, extraction_ast,
+                              collect_index, is_idable_tag)
+    if cache is not None:
+        cache.put(cache_key, pattern)
+    return pattern
 
 
 class QEGResult:

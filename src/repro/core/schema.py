@@ -10,6 +10,7 @@ IDable tags can be registered or retired at runtime.
 """
 
 from repro.core.idable import idable_children, iter_idable
+from repro.core.lru import LRUCache
 
 
 class HierarchySchema:
@@ -17,11 +18,18 @@ class HierarchySchema:
 
     ``parent_to_children`` maps an IDable element name to the set of
     IDable element names that may appear as its children.
+
+    ``compiled_patterns`` is this schema's bounded LRU of compiled
+    query patterns (see :func:`repro.core.qeg.compile_pattern`); it is
+    cleared whenever the IDable tag set changes, since that knowledge
+    is baked into compiled patterns.
     """
 
-    def __init__(self, root_tag, parent_to_children=None):
+    def __init__(self, root_tag, parent_to_children=None,
+                 pattern_cache_entries=256):
         self.root_tag = root_tag
         self._children = {root_tag: set()}
+        self.compiled_patterns = LRUCache(max_entries=pattern_cache_entries)
         if parent_to_children:
             for parent, children in parent_to_children.items():
                 self._children.setdefault(parent, set()).update(children)
@@ -41,11 +49,15 @@ class HierarchySchema:
     # ------------------------------------------------------------------
     def register_child(self, parent_tag, child_tag):
         """Declare that *child_tag* IDable nodes may nest under *parent_tag*."""
+        if child_tag not in self._children or \
+                child_tag not in self._children.get(parent_tag, ()):
+            self.compiled_patterns.clear()
         self._children.setdefault(parent_tag, set()).add(child_tag)
         self._children.setdefault(child_tag, set())
 
     def retire(self, tag):
         """Remove an IDable element name from the schema."""
+        self.compiled_patterns.clear()
         self._children.pop(tag, None)
         for children in self._children.values():
             children.discard(tag)

@@ -20,6 +20,8 @@ from repro.net.messages import (
     AckMessage,
     AdoptMessage,
     AnswerMessage,
+    BatchAnswerMessage,
+    BatchQueryMessage,
     Message,
     QueryMessage,
     UpdateMessage,
@@ -56,6 +58,8 @@ __all__ = [
     "Message",
     "QueryMessage",
     "AnswerMessage",
+    "BatchQueryMessage",
+    "BatchAnswerMessage",
     "UpdateMessage",
     "AckMessage",
     "AdoptMessage",

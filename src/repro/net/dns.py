@@ -13,6 +13,9 @@ served from the nearby cache, exactly the behaviour the paper's
 self-starting queries rely on.
 """
 
+import threading
+from collections import OrderedDict
+
 from repro.net.errors import NameNotFound
 from repro.xpath.analysis import dns_name_for_id_path
 
@@ -91,25 +94,40 @@ class DnsResolver:
 
     ``resolve`` returns ``(site, hops)``: *hops* is 0 on a cache hit
     and ``miss_hops`` on a miss, feeding the simulator's latency model.
+
+    The cache is a bounded LRU (``max_entries``; a real resolver never
+    holds the whole zone) and is safe to share between the fan-out
+    worker threads of one agent.  Evictions are counted in
+    ``stats["evictions"]``.
     """
 
-    def __init__(self, server, clock=None, ttl=60.0, miss_hops=3):
+    def __init__(self, server, clock=None, ttl=60.0, miss_hops=3,
+                 max_entries=1024):
         self.server = server
         self.clock = clock or (lambda: 0.0)
         self.ttl = ttl
         self.miss_hops = miss_hops
-        self._cache = {}  # name -> (site, expires_at)
-        self.stats = {"hits": 0, "misses": 0}
+        self.max_entries = max_entries
+        self._cache = OrderedDict()  # name -> (site, expires_at)
+        self._lock = threading.Lock()
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
 
     def resolve(self, name):
         now = self.clock()
-        cached = self._cache.get(name)
-        if cached is not None and cached[1] > now:
-            self.stats["hits"] += 1
-            return cached[0], 0
+        with self._lock:
+            cached = self._cache.get(name)
+            if cached is not None and cached[1] > now:
+                self._cache.move_to_end(name)
+                self.stats["hits"] += 1
+                return cached[0], 0
         record = self.server.lookup(name)
-        self._cache[name] = (record.site, now + self.ttl)
-        self.stats["misses"] += 1
+        with self._lock:
+            self._cache[name] = (record.site, now + self.ttl)
+            self._cache.move_to_end(name)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+                self.stats["evictions"] += 1
+            self.stats["misses"] += 1
         return record.site, self.miss_hops
 
     def resolve_id_path(self, id_path):
@@ -117,7 +135,8 @@ class DnsResolver:
 
     def invalidate(self, name=None):
         """Drop one cached entry, or the whole cache."""
-        if name is None:
-            self._cache.clear()
-        else:
-            self._cache.pop(name, None)
+        with self._lock:
+            if name is None:
+                self._cache.clear()
+            else:
+                self._cache.pop(name, None)

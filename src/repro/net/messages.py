@@ -210,6 +210,105 @@ def _scalar_from_text(type_name, text):
     return text
 
 
+class BatchQueryMessage(Message):
+    """Several subqueries for one destination site in one envelope.
+
+    One gather round often asks the same remote site for several
+    independent nodes; batching ships them in a single framed request
+    (one round-trip, one dispatch at the remote) instead of one wire
+    exchange per ask.  ``items`` is a list of ``(query, scalar)``
+    pairs, answered positionally by a :class:`BatchAnswerMessage`.
+    """
+
+    kind = "batch-query"
+
+    def __init__(self, items, now=None, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.items = [(query, bool(scalar)) for query, scalar in items]
+        self.now = now
+
+    def _fill(self, envelope):
+        if self.now is not None:
+            envelope.set("now", repr(float(self.now)))
+        for query, scalar in self.items:
+            envelope.append(Element("sub",
+                                    attrib={"scalar": "1" if scalar else "0"},
+                                    text=query))
+
+    @classmethod
+    def _parse(cls, envelope):
+        now = envelope.get("now")
+        return cls(
+            items=[(sub.text or "", sub.get("scalar") == "1")
+                   for sub in envelope.element_children("sub")],
+            now=float(now) if now is not None else None,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __len__(self):
+        return len(self.items)
+
+
+class BatchAnswerMessage(Message):
+    """Positional replies to a :class:`BatchQueryMessage`.
+
+    ``answers`` holds one entry per batched item, in request order:
+    a wire fragment :class:`~repro.xmlkit.nodes.Element`, a scalar
+    wrapped as ``("scalar", value)``, or ``None`` when the remote had
+    nothing.
+    """
+
+    kind = "batch-answer"
+
+    def __init__(self, in_reply_to, answers, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = in_reply_to
+        self.answers = list(answers)
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        for answer in self.answers:
+            item = Element("item")
+            if isinstance(answer, tuple) and answer and \
+                    answer[0] == "scalar":
+                value = answer[1]
+                holder = Element("scalar",
+                                 attrib={"type": type(value).__name__})
+                holder.append(Text(_scalar_to_text(value)))
+                item.append(holder)
+            elif answer is not None:
+                holder = Element("fragment")
+                holder.append(answer.copy())
+                item.append(holder)
+            envelope.append(item)
+
+    @classmethod
+    def _parse(cls, envelope):
+        answers = []
+        for item in envelope.element_children("item"):
+            scalar_holder = item.child("scalar")
+            fragment_holder = item.child("fragment")
+            if scalar_holder is not None:
+                answers.append(("scalar",
+                                _scalar_from_text(scalar_holder.get("type"),
+                                                  scalar_holder.text or "")))
+            elif fragment_holder is not None:
+                children = list(fragment_holder.element_children())
+                answers.append(children[0].copy() if children else None)
+            else:
+                answers.append(None)
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            answers=answers,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __len__(self):
+        return len(self.answers)
+
+
 class UpdateMessage(Message):
     """A sensor update from an SA (or a forward from a non-owner OA)."""
 
@@ -333,6 +432,7 @@ def clean_results(results):
 
 _KINDS = {
     cls.kind: cls
-    for cls in (QueryMessage, AnswerMessage, UpdateMessage, AckMessage,
+    for cls in (QueryMessage, AnswerMessage, BatchQueryMessage,
+                BatchAnswerMessage, UpdateMessage, AckMessage,
                 AdoptMessage)
 }

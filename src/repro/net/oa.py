@@ -7,6 +7,7 @@ forwards sensor updates, and takes part in ownership migrations.
 """
 
 from repro.core.errors import CoreError
+from repro.core.executors import SerialExecutor, resolve_executor
 from repro.core.gather import GatherDriver
 from repro.core.idable import id_path_of, idable_children
 from repro.core.ownership import (
@@ -22,10 +23,15 @@ from repro.net.messages import (
     AckMessage,
     AdoptMessage,
     AnswerMessage,
+    BatchAnswerMessage,
+    BatchQueryMessage,
     QueryMessage,
     UpdateMessage,
     clean_results,
 )
+
+
+_SERIAL = SerialExecutor()
 
 
 class OAConfig:
@@ -41,14 +47,24 @@ class OAConfig:
         use the pre-compiled QEG/XSLT skeleton (Section 4, "Speeding up
         XSLT processing"); only affects the accounted processing cost,
         not results.
+    ``executor``
+        how one gather round's subqueries are dispatched: ``None`` (the
+        default shared thread executor -- one WAN round-trip per
+        round), ``"serial"`` for strictly sequential dispatch
+        (deterministic timing; the simulator forces this and models
+        parallelism in virtual time), or any object with a
+        ``map(fn, items)`` method.  Answers are identical under every
+        executor; only wall-clock dispatch differs.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
-                 fast_codegen=True, generalization=GENERALIZE_ANSWER):
+                 fast_codegen=True, generalization=GENERALIZE_ANSWER,
+                 executor=None):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
         self.generalization = generalization
+        self.executor = executor
 
 
 class OrganizingAgent:
@@ -63,6 +79,7 @@ class OrganizingAgent:
         self.schema = schema
         self.config = config or OAConfig()
         self.clock = clock or database.clock
+        self.executor = resolve_executor(self.config.executor)
         self.driver = GatherDriver(
             database,
             send=self._send_subquery,
@@ -70,6 +87,8 @@ class OrganizingAgent:
             cache_results=self.config.cache_results,
             nesting_strategy=self.config.nesting_strategy,
             generalization=self.config.generalization,
+            executor=self.executor,
+            send_many=self._send_subqueries,
         )
         self.continuous = ContinuousQueryManager(self)
         self.stats = {
@@ -78,6 +97,7 @@ class OrganizingAgent:
             "updates_applied": 0,
             "updates_forwarded": 0,
             "subqueries_sent": 0,
+            "batches_sent": 0,
             "migrations_out": 0,
             "migrations_in": 0,
         }
@@ -85,23 +105,82 @@ class OrganizingAgent:
     # ------------------------------------------------------------------
     # Outgoing subqueries
     # ------------------------------------------------------------------
-    def _send_subquery(self, subquery):
-        """Route a QEG subquery to the responsible site and await the reply."""
+    def _resolve_target(self, subquery):
+        """The responsible site, or ``None`` when DNS retired the node.
+
+        A missing record means the node was deleted (schema evolution)
+        and our stub is a transient leftover: authoritative DNS says it
+        no longer exists, so the subquery answers "nothing" -- exactly
+        the transient inconsistency Section 4 accepts.
+        """
         from repro.net.errors import NameNotFound
 
         name = self.resolver.server.name_for(subquery.anchor_path)
         try:
             target, _hops = self.resolver.resolve(name)
         except NameNotFound:
-            # The node was deleted (schema evolution) and our stub is a
-            # transient leftover: authoritative DNS says it no longer
-            # exists, so the subquery answers "nothing" -- exactly the
-            # transient inconsistency Section 4 accepts.
+            return None
+        return target
+
+    def _send_subquery(self, subquery):
+        """Route a QEG subquery to the responsible site and await the reply."""
+        target = self._resolve_target(subquery)
+        if target is None:
             return None
         self.stats["subqueries_sent"] += 1
         if target == self.site_id:
             # Ownership race or self-anchored fetch: answer locally.
             return self.driver.answer_any(subquery.query)
+        return self._ship_single(target, subquery)
+
+    def _send_subqueries(self, subqueries):
+        """One gather round's fan-out: batch per destination, in parallel.
+
+        Resolves every subquery's responsible site, groups the remote
+        ones by destination (one :class:`BatchQueryMessage` -- a single
+        framed request -- per site with several asks), dispatches the
+        per-site groups concurrently through the configured executor,
+        and returns the replies in input order for the driver's
+        deterministic merge.
+        """
+        replies = [None] * len(subqueries)
+        groups = {}
+        for index, subquery in enumerate(subqueries):
+            target = self._resolve_target(subquery)
+            if target is None:
+                continue
+            self.stats["subqueries_sent"] += 1
+            if target == self.site_id:
+                # Ownership race or self-anchored fetch: answer locally.
+                replies[index] = self.driver.answer_any(subquery.query)
+            else:
+                groups.setdefault(target, []).append(index)
+        if not groups:
+            return replies
+        self.stats["batches_sent"] += sum(
+            1 for indices in groups.values() if len(indices) > 1
+        )
+
+        def ship(entry):
+            target, indices = entry
+            if len(indices) == 1:
+                return [self._ship_single(target, subqueries[indices[0]])]
+            return self._ship_batch(target,
+                                    [subqueries[i] for i in indices])
+
+        executor = self.executor
+        if getattr(self.network, "requires_serial_dispatch", False):
+            # E.g. the simulator's tracing network builds one RPC tree
+            # on a plain stack; concurrent dispatch would corrupt it.
+            executor = _SERIAL
+        grouped = sorted(groups.items())
+        for (_target, indices), group_replies in zip(
+                grouped, executor.map(ship, grouped)):
+            for index, reply in zip(indices, group_replies):
+                replies[index] = reply
+        return replies
+
+    def _ship_single(self, target, subquery):
         message = QueryMessage(subquery.query, now=self.clock(),
                                scalar=subquery.scalar, sender=self.site_id)
         reply = self.network.request(self.site_id, target, message)
@@ -112,6 +191,32 @@ class OrganizingAgent:
         if subquery.scalar:
             return reply.scalar
         return reply.fragment
+
+    def _ship_batch(self, target, subqueries):
+        message = BatchQueryMessage(
+            [(subquery.query, subquery.scalar) for subquery in subqueries],
+            now=self.clock(), sender=self.site_id)
+        reply = self.network.request(self.site_id, target, message)
+        if not isinstance(reply, BatchAnswerMessage):
+            raise NetError(
+                f"site {target!r} replied {type(reply).__name__} to a "
+                "batched subquery"
+            )
+        if len(reply) != len(subqueries):
+            raise NetError(
+                f"site {target!r} answered {len(reply)} of "
+                f"{len(subqueries)} batched subqueries"
+            )
+        out = []
+        for subquery, answer in zip(subqueries, reply.answers):
+            if isinstance(answer, tuple) and answer and \
+                    answer[0] == "scalar":
+                out.append(answer[1])
+            elif subquery.scalar:
+                out.append(None)
+            else:
+                out.append(answer)
+        return out
 
     # ------------------------------------------------------------------
     # Serving queries
@@ -130,6 +235,8 @@ class OrganizingAgent:
         """Dispatch one incoming message; returns the reply message."""
         if isinstance(message, QueryMessage):
             return self._handle_query(message)
+        if isinstance(message, BatchQueryMessage):
+            return self._handle_batch(message)
         if isinstance(message, UpdateMessage):
             return self._handle_update(message)
         if isinstance(message, AdoptMessage):
@@ -155,6 +262,21 @@ class OrganizingAgent:
         fragment = self.driver.answer_any(message.query, now=message.now)
         return AnswerMessage(message.message_id, fragment=fragment,
                              sender=self.site_id)
+
+    def _handle_batch(self, message):
+        """Answer a batched subquery: one reply per item, in order."""
+        self.stats["subqueries_served"] += len(message.items)
+        answers = []
+        for query, scalar in message.items:
+            if scalar:
+                answers.append(("scalar",
+                                self.driver.answer_scalar(query,
+                                                          now=message.now)))
+            else:
+                answers.append(self.driver.answer_any(query,
+                                                      now=message.now))
+        return BatchAnswerMessage(message.message_id, answers=answers,
+                                  sender=self.site_id)
 
     # ------------------------------------------------------------------
     # Sensor updates

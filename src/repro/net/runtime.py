@@ -19,24 +19,16 @@ from repro.net.transport import LoopbackNetwork
 
 
 class LockingNetwork(LoopbackNetwork):
-    """Loopback delivery with one lock per destination site."""
+    """Loopback delivery with one lock per destination site.
 
-    def __init__(self, count_bytes=False):
-        super().__init__(count_bytes=count_bytes)
-        self._locks = {}
-        self._locks_guard = threading.Lock()
-
-    def _lock_for(self, site_id):
-        with self._locks_guard:
-            lock = self._locks.get(site_id)
-            if lock is None:
-                lock = threading.Lock()
-                self._locks[site_id] = lock
-            return lock
-
-    def request(self, src, dst, message):
-        with self._lock_for(dst):
-            return super().request(src, dst, message)
+    Per-site serialization now lives in :class:`LoopbackNetwork` itself
+    (parallel subquery fan-out made it a correctness requirement, not a
+    concurrency-benchmark nicety), so this class no longer layers a
+    second set of locks on top -- doing so leaked one lock per site per
+    cluster start and deadlocked reentrant deliveries.  The name is
+    kept as the explicit opt-in used by the concurrent-client helpers;
+    ``close()`` releases the per-site locks.
+    """
 
 
 class ClientWorkloadResult:

@@ -110,51 +110,115 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
             self._thread.join(timeout=5)
 
 
-class TcpNetwork:
-    """Message delivery over TCP, given a site -> address map."""
+def _close_quietly(sock):
+    try:
+        sock.close()
+    except OSError:
+        pass
 
-    def __init__(self, addresses=None, timeout=10.0, count_bytes=True):
+
+class TcpNetwork:
+    """Message delivery over TCP, given a site -> address map.
+
+    Connections are pooled per destination: a request checks an idle
+    socket out (or dials a fresh one), runs one framed exchange, and
+    checks it back in for the next caller.  Keying the pool by site --
+    not by thread -- lets the short-lived fan-out worker threads reuse
+    each other's connections instead of paying a TCP handshake per
+    round, and bounds the number of sockets kept open
+    (``max_idle_per_site`` each).  A pooled socket may have been closed
+    by its peer while idle; an exchange that fails on a *reused*
+    connection is retried once on a fresh dial before the error
+    surfaces.  ``pool_stats`` counts ``connects`` (dials), ``reuses``
+    and ``discarded`` (closed instead of pooled).
+    """
+
+    def __init__(self, addresses=None, timeout=10.0, count_bytes=True,
+                 max_idle_per_site=8):
         self.addresses = dict(addresses or {})
         self.timeout = timeout
+        self.max_idle_per_site = max_idle_per_site
         self.traffic = TrafficLog(count_bytes=count_bytes)
         self.interceptors = []
-        self._connections = {}
+        self._idle = {}
         self._lock = threading.Lock()
+        self._closed = False
+        self.pool_stats = {"connects": 0, "reuses": 0, "discarded": 0}
 
     def register_address(self, site_id, address):
         self.addresses[site_id] = address
 
-    def _connection(self, site_id):
+    # -- pool -----------------------------------------------------------
+    def _dial(self, site_id):
         try:
             address = self.addresses[site_id]
         except KeyError:
             raise UnknownSite(f"no TCP address for site {site_id!r}") \
                 from None
-        key = (threading.get_ident(), site_id)
+        sock = socket.create_connection(address, timeout=self.timeout)
         with self._lock:
-            sock = self._connections.get(key)
-        if sock is None:
-            sock = socket.create_connection(address, timeout=self.timeout)
-            with self._lock:
-                self._connections[key] = sock
-        return key, sock
+            self.pool_stats["connects"] += 1
+        return sock
 
+    def _checkout(self, site_id):
+        """An idle pooled socket (reused=True) or a fresh dial."""
+        with self._lock:
+            stack = self._idle.get(site_id)
+            if stack:
+                self.pool_stats["reuses"] += 1
+                return stack.pop(), True
+        return self._dial(site_id), False
+
+    def _checkin(self, site_id, sock):
+        with self._lock:
+            if not self._closed:
+                stack = self._idle.setdefault(site_id, [])
+                if len(stack) < self.max_idle_per_site:
+                    stack.append(sock)
+                    return
+            self.pool_stats["discarded"] += 1
+        _close_quietly(sock)
+
+    def _discard(self, sock):
+        with self._lock:
+            self.pool_stats["discarded"] += 1
+        _close_quietly(sock)
+
+    def _exchange(self, dst, encoded):
+        """One framed request/reply on a pooled connection.
+
+        Never returns a socket of unknown state to the pool: any
+        failure closes it.  A failure (or an unexpected clean close) on
+        a reused connection means the peer dropped it while idle --
+        retried once on a fresh dial.
+        """
+        sock, reused = self._checkout(dst)
+        while True:
+            try:
+                send_framed(sock, encoded)
+                payload = recv_framed(sock)
+            except (OSError, NetError):
+                self._discard(sock)
+                if not reused:
+                    raise
+                sock, reused = self._dial(dst), False
+                continue
+            if payload is None:
+                # Clean close before any reply byte.
+                self._discard(sock)
+                if reused:
+                    sock, reused = self._dial(dst), False
+                    continue
+                return None
+            self._checkin(dst, sock)
+            return payload
+
+    # -- transport interface --------------------------------------------
     def request(self, src, dst, message):
         for interceptor in self.interceptors:
             interceptor(src, dst, message)
         self.traffic.record(src, dst, message)
-        key, sock = self._connection(dst)
-        try:
-            send_framed(sock, message.encode())
-            payload = recv_framed(sock)
-        except (OSError, NetError):
-            with self._lock:
-                self._connections.pop(key, None)
-            try:
-                sock.close()
-            except OSError:
-                pass
-            raise
+        payload = self._exchange(dst, message.encode())
         if not payload:
             return None
         reply = Message.decode(payload)
@@ -164,15 +228,18 @@ class TcpNetwork:
     def tell(self, src, dst, message):
         self.request(src, dst, message)
 
-    def close(self):
+    def idle_connection_count(self):
         with self._lock:
-            connections = list(self._connections.values())
-            self._connections.clear()
-        for sock in connections:
-            try:
-                sock.close()
-            except OSError:
-                pass
+            return sum(len(stack) for stack in self._idle.values())
+
+    def close(self):
+        """Close every pooled socket; later check-ins are discarded."""
+        with self._lock:
+            self._closed = True
+            idle = [sock for stack in self._idle.values() for sock in stack]
+            self._idle.clear()
+        for sock in idle:
+            _close_quietly(sock)
 
 
 class TcpCluster:

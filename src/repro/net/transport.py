@@ -10,26 +10,30 @@ All traffic is counted (messages and approximate bytes, per link), so
 experiments can report communication costs.
 """
 
+import threading
+
 from repro.net.errors import UnknownSite
 
 
 class TrafficLog:
-    """Per-link counters of messages and bytes."""
+    """Per-link counters of messages and bytes (thread-safe)."""
 
     def __init__(self, count_bytes=False):
         self.count_bytes = count_bytes
         self.messages = 0
         self.bytes = 0
         self.per_link = {}
+        self._lock = threading.Lock()
 
     def record(self, src, dst, message):
-        self.messages += 1
         size = message.encoded_size() if self.count_bytes else 0
-        self.bytes += size
-        key = (src, dst)
-        entry = self.per_link.setdefault(key, [0, 0])
-        entry[0] += 1
-        entry[1] += size
+        with self._lock:
+            self.messages += 1
+            self.bytes += size
+            key = (src, dst)
+            entry = self.per_link.setdefault(key, [0, 0])
+            entry[0] += 1
+            entry[1] += size
 
     def summary(self):
         return {
@@ -44,11 +48,20 @@ class LoopbackNetwork:
 
     Agents implement ``handle_message(message) -> reply | None``.
     ``request`` returns the reply; ``tell`` discards it (one-way).
+
+    Delivery is serialized per destination site (a reentrant lock per
+    site), mirroring the one-process-per-site deployment: an agent
+    never sees two messages concurrently, even when a gather round
+    fans its subqueries out from several worker threads.  Different
+    sites still run genuinely in parallel; subquery chains descend the
+    hierarchy, so the lock order is acyclic and deadlock-free.
     """
 
     def __init__(self, count_bytes=False):
         self._agents = {}
         self.traffic = TrafficLog(count_bytes=count_bytes)
+        self._site_locks = {}
+        self._site_locks_guard = threading.Lock()
         # Hook for failure-injection tests: callables(src, dst, message)
         # may raise or mutate to simulate loss/corruption.
         self.interceptors = []
@@ -70,12 +83,21 @@ class LoopbackNetwork:
             raise UnknownSite(f"no agent registered for site {site_id!r}") \
                 from None
 
+    def _lock_for(self, site_id):
+        with self._site_locks_guard:
+            lock = self._site_locks.get(site_id)
+            if lock is None:
+                lock = threading.RLock()
+                self._site_locks[site_id] = lock
+            return lock
+
     def request(self, src, dst, message):
         """Deliver *message* and return the destination's reply."""
         for interceptor in self.interceptors:
             interceptor(src, dst, message)
         self.traffic.record(src, dst, message)
-        reply = self.agent(dst).handle_message(message)
+        with self._lock_for(dst):
+            reply = self.agent(dst).handle_message(message)
         if reply is not None:
             self.traffic.record(dst, src, reply)
         return reply
@@ -83,3 +105,8 @@ class LoopbackNetwork:
     def tell(self, src, dst, message):
         """Deliver *message*, ignoring any reply."""
         self.request(src, dst, message)
+
+    def close(self):
+        """Release per-site delivery locks (repeated start/stop safe)."""
+        with self._site_locks_guard:
+            self._site_locks.clear()

@@ -39,7 +39,8 @@ class CostModel:
                  rest=0.012,
                  update_cost=0.005,
                  migration_cost=0.050,
-                 forward_factor=0.35):
+                 forward_factor=0.35,
+                 fanout_width=0):
         self.codegen_naive = codegen_naive
         self.codegen_fast = codegen_fast
         self.execute_base = execute_base
@@ -58,6 +59,11 @@ class CostModel:
         # placeholders, so their creation+execution demand is scaled by
         # this factor (communication CPU is unaffected).
         self.forward_factor = forward_factor
+        # How many subqueries of one gather round travel concurrently:
+        # 0 (or None) means unbounded -- the whole round is one wave
+        # and costs the max over its round-trips; a positive width W
+        # dispatches the round in sequential waves of W.
+        self.fanout_width = fanout_width
 
     # ------------------------------------------------------------------
     def codegen(self, fast):
@@ -97,6 +103,22 @@ class CostModel:
     def dns_lookup_latency(self, hops):
         return hops * self.dns_hop_latency
 
+    def round_latency(self, latencies):
+        """Latency charged for one gather round's subquery fan-out.
+
+        The round's subqueries travel concurrently, so a wave costs
+        the *max* over its members, not the sum; with a bounded
+        ``fanout_width`` W the round runs as sequential waves of W.
+        """
+        latencies = list(latencies)
+        if not latencies:
+            return 0.0
+        width = self.fanout_width or len(latencies)
+        total = 0.0
+        for start in range(0, len(latencies), width):
+            total += max(latencies[start:start + width])
+        return total
+
     # ------------------------------------------------------------------
     @classmethod
     def calibrated(cls, document=None, query=None, scale_to_paper=True,
@@ -127,8 +149,11 @@ class CostModel:
         db = plan.build_databases(document)["one"]
         schema = HierarchySchema.from_document(document)
 
-        naive = _best_time(lambda: compile_pattern(query, schema=schema),
-                           repetitions)
+        # Bypass the compile cache: this measures compilation itself,
+        # and a cache hit would report a near-zero "naive" time.
+        naive = _best_time(
+            lambda: compile_pattern(query, schema=schema, use_cache=False),
+            repetitions)
         pattern = compile_pattern(query, schema=schema)
         # The "fast" path reuses the compiled pattern and only rebinds
         # query-dependent slots; approximated by a re-walk of the items.

@@ -29,6 +29,11 @@ class SimulatedCluster:
         self.cost = cost_model or CostModel()
         self.architecture = architecture
         self.oa_config = oa_config or OAConfig()
+        # The tracing network builds one RPC tree per capture on a
+        # plain stack: real threads would interleave it.  Parallelism
+        # is modelled in *virtual* time instead (fan-out waves below),
+        # so the live engine must dispatch strictly sequentially.
+        self.oa_config.executor = "serial"
         self.cluster = Cluster(
             document, architecture.plan, service=service,
             oa_config=self.oa_config, clock=lambda: self.env.now,
@@ -80,11 +85,16 @@ class SimulatedCluster:
             yield self.env.timeout(self._service_time(node))
             server.release()
         if node.children:
-            children = [
-                self.env.process(self._replay_remote(child))
-                for child in node.children
-            ]
-            yield self.env.all_of(children)
+            # One gather round fans out in parallel: replay the child
+            # RPCs as concurrent waves of ``cost.fanout_width`` each
+            # (0 = unbounded, the whole round in one wave).
+            width = self.cost.fanout_width or len(node.children)
+            for start in range(0, len(node.children), width):
+                wave = [
+                    self.env.process(self._replay_remote(child))
+                    for child in node.children[start:start + width]
+                ]
+                yield self.env.all_of(wave)
 
     def _replay_remote(self, node):
         yield self.env.timeout(self.cost.network_latency)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.arch import hierarchical
-from repro.core import compile_pattern
 from repro.net import Cluster, OAConfig
 from repro.service import (
     ParkingConfig,

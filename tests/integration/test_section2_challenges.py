@@ -43,8 +43,6 @@ class TestFigure2Completeness:
         # they are fetched despite being absent from the LCA fragment.
         cluster = Cluster(paper_doc.copy(), plan)
         results, _, _ = cluster.query(FIGURE2_QUERY, at_site="top")
-        shady_results = [r for r in results if r.child("price").text
-                         in ("50", "25") and r.id in ("1", "2")]
         assert len(results) == 3
 
         # Case B: all Shadyside spaces become taken -> the same query
@@ -117,6 +115,5 @@ class TestFreeSpotsAttributeChallenge:
         # Shadyside fails the attribute predicate *locally* at the
         # city's cached copy; only Oakland's subtree is consulted (and
         # only because its result data must be materialized).
-        anchors = set()
         # (The count alone demonstrates the pruning.)
         assert sent <= 1

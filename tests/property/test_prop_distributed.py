@@ -171,7 +171,6 @@ class TestWireFragmentInvariants:
         """Every wire fragment a site emits is cacheable by construction:
         it passes the C1/C2 structural checks against the ground truth."""
         from repro.core import compile_pattern, fragment_violations, run_qeg
-        from repro.core.partition import PartitionPlan as _PP
 
         document, plan, query_list = scenario
         databases = plan.build_databases(document)

@@ -1,0 +1,123 @@
+"""Executor-independence of gathered answers.
+
+The gather driver dispatches each round's subqueries through a
+pluggable executor, but merges the replies in subquery emission order
+-- so the answer must be byte-identical whether the round runs
+serially, with replies completing in an adversarially shuffled order,
+or on real threads.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PartitionPlan, SerialExecutor, ThreadedExecutor
+from repro.net import Cluster, OAConfig
+from repro.xmlkit import Element, canonical_form
+
+_SITES = ["s0", "s1", "s2", "s3"]
+
+
+class ShuffledExecutor:
+    """Runs the round's subqueries one by one in a shuffled order.
+
+    Models the worst-case reply arrival order deterministically: the
+    results list is still positional, but side effects (cache merges at
+    remote sites) happen in scrambled order.
+    """
+
+    def __init__(self, seed):
+        self._random = random.Random(seed)
+
+    def map(self, fn, items):
+        items = list(items)
+        order = list(range(len(items)))
+        self._random.shuffle(order)
+        results = [None] * len(items)
+        for index in order:
+            results[index] = fn(items[index])
+        return results
+
+
+@st.composite
+def hierarchical_documents(draw):
+    root = Element("top", attrib={"id": "R"})
+    for mid_index in range(draw(st.integers(1, 3))):
+        mid = Element("mid", attrib={"id": f"m{mid_index}"})
+        root.append(mid)
+        mid.append(Element("meta", text=str(draw(st.integers(0, 3)))))
+        for leaf_index in range(draw(st.integers(0, 4))):
+            leaf = Element("leaf", attrib={"id": f"l{leaf_index}"})
+            leaf.append(Element("value", text=str(draw(st.integers(0, 4)))))
+            mid.append(leaf)
+    return root
+
+
+@st.composite
+def partitions(draw, document):
+    assignments = {site: [] for site in _SITES}
+    assignments[draw(st.sampled_from(_SITES))].append((("top", "R"),))
+    for mid in document.element_children("mid"):
+        if draw(st.booleans()):
+            mid_path = (("top", "R"), ("mid", mid.id))
+            assignments[draw(st.sampled_from(_SITES))].append(mid_path)
+            for leaf in mid.element_children("leaf"):
+                if draw(st.booleans()):
+                    assignments[draw(st.sampled_from(_SITES))].append(
+                        mid_path + (("leaf", leaf.id),))
+    return PartitionPlan(assignments)
+
+
+@st.composite
+def queries(draw, document):
+    mids = [m.id for m in document.element_children("mid")] or ["m0"]
+    mid = draw(st.sampled_from(mids))
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return f"/top[@id='R']/mid[@id='{mid}']/leaf"
+    if kind == 1:
+        value = draw(st.integers(0, 4))
+        return f"/top[@id='R']//leaf[value='{value}']"
+    if kind == 2:
+        return f"/top[@id='R']/mid"
+    return f"/top[@id='R']/mid[@id='{mid}']/meta"
+
+
+@st.composite
+def scenarios(draw):
+    document = draw(hierarchical_documents())
+    plan = draw(partitions(document))
+    query_list = draw(st.lists(queries(document), min_size=1, max_size=3))
+    seed = draw(st.integers(0, 2**16))
+    return document, plan, query_list, seed
+
+
+def _normalized(element):
+    clone = element.copy()
+    for node in clone.iter():
+        node.delete_attribute("timestamp")
+    return canonical_form(clone)
+
+
+def _answers(document, plan, query_list, executor):
+    cluster = Cluster(document.copy(), plan, service="prop",
+                      oa_config=OAConfig(executor=executor))
+    answers = []
+    for query in query_list:
+        results, _site, _outcome = cluster.query(query)
+        answers.append(sorted(_normalized(r) for r in results))
+    return answers
+
+
+class TestExecutorIndependence:
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_answer_identical_under_every_executor(self, scenario):
+        document, plan, query_list, seed = scenario
+        serial = _answers(document, plan, query_list, SerialExecutor())
+        shuffled = _answers(document, plan, query_list,
+                            ShuffledExecutor(seed))
+        threaded = _answers(document, plan, query_list,
+                            ThreadedExecutor(max_workers=4))
+        assert shuffled == serial
+        assert threaded == serial

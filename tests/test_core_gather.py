@@ -5,7 +5,6 @@ import pytest
 from repro.core import (
     CoreError,
     GatherDriver,
-    GatherError,
     HierarchySchema,
     PartitionPlan,
     Status,

@@ -11,7 +11,6 @@ from repro.core import (
     fragment_violations,
     get_status,
     run_qeg,
-    set_status,
 )
 from repro.core.qeg import BOOLEAN_PROBE
 
@@ -91,6 +90,66 @@ class TestCompilePattern:
         )
         split = pattern.items[4].split
         assert len(split.consistency_predicates) == 1
+
+
+class TestPatternCompileCache:
+    def test_recompile_served_from_schema_cache(self, paper_doc):
+        from repro.core import HierarchySchema
+
+        schema = HierarchySchema.from_document(paper_doc)
+        first = compile_pattern(FIGURE2_QUERY, schema=schema)
+        second = compile_pattern(FIGURE2_QUERY, schema=schema)
+        assert second is first
+        assert schema.compiled_patterns.stats["hits"] == 1
+
+    def test_use_cache_false_bypasses(self, paper_doc):
+        from repro.core import HierarchySchema
+
+        schema = HierarchySchema.from_document(paper_doc)
+        first = compile_pattern(FIGURE2_QUERY, schema=schema)
+        fresh = compile_pattern(FIGURE2_QUERY, schema=schema,
+                                use_cache=False)
+        assert fresh is not first
+
+    def test_cache_bounded(self, paper_doc):
+        from repro.core import HierarchySchema
+
+        schema = HierarchySchema.from_document(paper_doc)
+        schema.compiled_patterns.max_entries = 2
+        for block in ("1", "2", "3"):
+            compile_pattern(PREFIX + "/neighborhood[@id='Oakland']"
+                            f"/block[@id='{block}']", schema=schema)
+        assert len(schema.compiled_patterns) == 2
+        assert schema.compiled_patterns.stats["evictions"] == 1
+
+    def test_schema_mutation_invalidates(self, paper_doc):
+        from repro.core import HierarchySchema
+
+        schema = HierarchySchema.from_document(paper_doc)
+        compile_pattern(FIGURE2_QUERY, schema=schema)
+        assert len(schema.compiled_patterns) == 1
+        schema.register_child("block", "meter")  # new IDable tag
+        assert len(schema.compiled_patterns) == 0
+        recompiled = compile_pattern(FIGURE2_QUERY, schema=schema)
+        assert recompiled.is_idable_tag("meter")
+
+    def test_schemaless_compiles_share_global_cache(self):
+        from repro.core.qeg import PATTERN_CACHE
+
+        PATTERN_CACHE.clear()
+        first = compile_pattern("/top[@id='R']/mid")
+        second = compile_pattern("/top[@id='R']/mid")
+        assert second is first
+
+    def test_driver_compile_uses_cache(self, paper_doc):
+        from repro.core import GatherDriver, HierarchySchema, PartitionPlan
+
+        schema = HierarchySchema.from_document(paper_doc)
+        plan = PartitionPlan({"one": [id_path("usRegion=NE")]})
+        db = plan.build_databases(paper_doc)["one"]
+        driver = GatherDriver(db, send=lambda sq: None, schema=schema)
+        first = driver.compile(FIGURE2_QUERY)
+        assert driver.compile(FIGURE2_QUERY) is first
 
 
 class TestOwnedCase:

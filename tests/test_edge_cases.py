@@ -149,7 +149,6 @@ class TestDistributedCorners:
                 "/neighborhood[@id='Shadyside']/block[@id='1']")
         cluster.query(base, at_site="top")
         settable_clock.advance(100)
-        agent = cluster.agent("top")
         loose = base + "[timestamp() > current-time() - 1000]"
         tight = base + "[timestamp() > current-time() - 5]"
         results_loose, _, _ = cluster.query(loose, at_site="top")

@@ -7,7 +7,7 @@ loudly instead of corrupting state, and local data keeps being served.
 
 import pytest
 
-from repro.core import Status, get_status, structural_violations
+from repro.core import structural_violations
 from repro.net import NetError, QueryMessage, UnknownSite
 
 from tests.conftest import OAKLAND, SHADYSIDE

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import HierarchySchema, PartitionPlan, Subquery, compile_pattern
+from repro.core import PartitionPlan, Subquery, compile_pattern
 from repro.core.gather import _is_path_prefix, _subsumed_by
 
 from tests.conftest import OAKLAND, PITTSBURGH, SHADYSIDE, id_path

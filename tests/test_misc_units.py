@@ -1,7 +1,5 @@
 """Remaining small-unit coverage: traces, stats, architectures, helpers."""
 
-import pytest
-
 from repro.arch import centralized, hierarchical
 from repro.net import AnswerMessage, QueryMessage, clean_results
 from repro.service import ParkingConfig, build_parking_document

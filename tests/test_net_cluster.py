@@ -3,14 +3,13 @@
 import pytest
 
 from repro.core import Status, get_status, get_timestamp
-from repro.net import Cluster, MigrationError, OAConfig, QueryMessage
+from repro.net import Cluster, MigrationError, OAConfig
 
 from tests.conftest import (
     FIGURE2_QUERY,
     OAKLAND,
     PITTSBURGH,
     SHADYSIDE,
-    id_path,
 )
 
 PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"

@@ -54,7 +54,7 @@ class TestResolver:
         assert site == "site-1" and hops == resolver.miss_hops
         site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
         assert site == "site-1" and hops == 0
-        assert resolver.stats == {"hits": 1, "misses": 1}
+        assert resolver.stats == {"hits": 1, "misses": 1, "evictions": 0}
 
     def test_ttl_expiry_refetches(self, server, settable_clock):
         resolver = DnsResolver(server, clock=settable_clock, ttl=30)
@@ -87,3 +87,34 @@ class TestResolver:
         site, _ = resolver.resolve_id_path(
             [("usRegion", "NE"), ("state", "PA")])
         assert site == "site-1"
+
+
+class TestResolverLRU:
+    def _populated(self, server, count):
+        for index in range(count):
+            server.register(f"n{index}.parking.intel-iris.net",
+                            f"site-{index}")
+
+    def test_cache_bounded_with_eviction_counter(self, server,
+                                                 settable_clock):
+        self._populated(server, 10)
+        resolver = DnsResolver(server, clock=settable_clock, ttl=60,
+                               max_entries=4)
+        for index in range(10):
+            resolver.resolve(f"n{index}.parking.intel-iris.net")
+        assert len(resolver._cache) == 4
+        assert resolver.stats["evictions"] == 6
+        assert resolver.stats["misses"] == 10
+
+    def test_lru_keeps_recently_used_entries(self, server, settable_clock):
+        self._populated(server, 3)
+        resolver = DnsResolver(server, clock=settable_clock, ttl=60,
+                               max_entries=2)
+        resolver.resolve("n0.parking.intel-iris.net")
+        resolver.resolve("n1.parking.intel-iris.net")
+        resolver.resolve("n0.parking.intel-iris.net")  # n0 now hottest
+        resolver.resolve("n2.parking.intel-iris.net")  # evicts n1
+        _site, hops = resolver.resolve("n0.parking.intel-iris.net")
+        assert hops == 0  # still cached
+        _site, hops = resolver.resolve("n1.parking.intel-iris.net")
+        assert hops == resolver.miss_hops  # was evicted

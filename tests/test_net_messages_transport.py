@@ -6,6 +6,8 @@ from repro.net import (
     AckMessage,
     AdoptMessage,
     AnswerMessage,
+    BatchAnswerMessage,
+    BatchQueryMessage,
     LoopbackNetwork,
     Message,
     MessageError,
@@ -77,6 +79,63 @@ class TestEncoding:
         decoded = Message.decode(message.encode())
         assert decoded.id_paths == [(("a", "1"),)]
         assert trees_equal(decoded.fragment, fragment)
+
+    def test_batch_query_roundtrip(self):
+        message = BatchQueryMessage(
+            [("/a[@id='1']/b", False), ("count(/a//spot)", True)],
+            now=42.25, sender="site-3")
+        decoded = Message.decode(message.encode())
+        assert isinstance(decoded, BatchQueryMessage)
+        assert decoded.items == [("/a[@id='1']/b", False),
+                                 ("count(/a//spot)", True)]
+        assert decoded.now == 42.25
+        assert decoded.sender == "site-3"
+        assert len(decoded) == 2
+
+    def test_batch_query_single_item(self):
+        decoded = Message.decode(
+            BatchQueryMessage([("/a", True)]).encode())
+        assert decoded.items == [("/a", True)]
+        assert decoded.now is None
+
+    def test_batch_query_empty(self):
+        decoded = Message.decode(BatchQueryMessage([]).encode())
+        assert decoded.items == []
+        assert len(decoded) == 0
+
+    def test_batch_query_special_characters(self):
+        query = "/a[price < 5 and name != \"x&y\"]"
+        decoded = Message.decode(
+            BatchQueryMessage([(query, False)]).encode())
+        assert decoded.items == [(query, False)]
+
+    def test_batch_answer_roundtrip(self):
+        fragment = parse_fragment("<a id='1' status='complete'><b/></a>")
+        message = BatchAnswerMessage(
+            11,
+            answers=[fragment, ("scalar", 3.5), None, ("scalar", True)],
+            sender="site-9")
+        decoded = Message.decode(message.encode())
+        assert isinstance(decoded, BatchAnswerMessage)
+        assert decoded.in_reply_to == 11
+        assert len(decoded) == 4
+        assert trees_equal(decoded.answers[0], fragment)
+        assert decoded.answers[1] == ("scalar", 3.5)
+        assert decoded.answers[2] is None
+        assert decoded.answers[3] == ("scalar", True)
+
+    def test_batch_answer_empty(self):
+        decoded = Message.decode(BatchAnswerMessage(5, answers=[]).encode())
+        assert decoded.in_reply_to == 5
+        assert decoded.answers == []
+
+    def test_batch_answer_scalar_none_distinct_from_no_answer(self):
+        # A remote that *answered* a scalar probe with None is not the
+        # same as a remote that had nothing for a fragment ask.
+        decoded = Message.decode(
+            BatchAnswerMessage(1, answers=[("scalar", None), None]).encode())
+        assert decoded.answers[0] == ("scalar", None)
+        assert decoded.answers[1] is None
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(MessageError):

@@ -20,7 +20,7 @@ from repro.net import (
     run_concurrent_clients,
 )
 
-from tests.conftest import OAKLAND, id_path
+from tests.conftest import OAKLAND
 
 
 class _SlowAgent:
@@ -80,6 +80,25 @@ class TestLockingNetwork:
             thread.start()
         for thread in threads:
             thread.join()  # would deadlock if sites serialized globally
+
+
+    def test_close_releases_per_site_locks(self):
+        network = LockingNetwork()
+        event = threading.Event()
+        event.set()
+        network.register("busy", _SlowAgent(event))
+        network.request("c", "busy", QueryMessage("/a"))
+        assert network._site_locks
+        network.close()
+        assert not network._site_locks
+        # Still usable after close: locks are re-created on demand.
+        reply = network.request("c", "busy", QueryMessage("/a"))
+        assert reply.ok
+
+    def test_repeated_close_is_idempotent(self):
+        network = LockingNetwork()
+        network.close()
+        network.close()
 
 
 class TestConcurrentClusterHelpers:

@@ -5,11 +5,12 @@ import threading
 
 import pytest
 
-from repro.net import QueryMessage
+from repro.net import AckMessage, QueryMessage
 from repro.net.errors import NetError, UnknownSite
 from repro.net.tcpruntime import (
     TcpCluster,
     TcpNetwork,
+    TcpSiteServer,
     recv_framed,
     send_framed,
 )
@@ -156,8 +157,91 @@ class TestTcpCluster:
 
     def test_dead_server_raises_oserror(self, paper_doc, paper_plan):
         tcp = TcpCluster(paper_doc, paper_plan)
-        address = tcp.servers["shady"].address
         tcp.servers["shady"].stop()
         with pytest.raises(OSError):
             tcp.network.request("x", "shady", QueryMessage("/a"))
         tcp.close()
+
+
+class _AckAgent:
+    def handle_message(self, message):
+        return AckMessage(message.message_id, ok=True, sender="echo")
+
+
+@pytest.fixture
+def echo_net():
+    server = TcpSiteServer(_AckAgent()).start()
+    network = TcpNetwork()
+    network.register_address("echo", server.address)
+    yield network, server
+    network.close()
+    server.stop()
+
+
+class TestConnectionPool:
+    def test_connection_reused_across_requests(self, echo_net):
+        network, _server = echo_net
+        for _ in range(3):
+            reply = network.request("c", "echo", QueryMessage("/a"))
+            assert reply.ok
+        assert network.pool_stats["connects"] == 1
+        assert network.pool_stats["reuses"] == 2
+        assert network.idle_connection_count() == 1
+
+    def test_stale_pooled_connection_retried(self, echo_net):
+        network, _server = echo_net
+        network.request("c", "echo", QueryMessage("/a"))
+        # The peer drops the pooled connection while it sits idle.
+        left, right = socket.socketpair()
+        right.close()
+        network._idle["echo"].append(left)  # stack: checked out next
+        reply = network.request("c", "echo", QueryMessage("/a"))
+        assert reply.ok
+        assert network.pool_stats["discarded"] >= 1
+
+    def test_idle_pool_bounded(self):
+        network = TcpNetwork(max_idle_per_site=2)
+        pairs = [socket.socketpair() for _ in range(3)]
+        try:
+            for left, _right in pairs:
+                network._checkin("s", left)
+            assert network.idle_connection_count() == 2
+            assert network.pool_stats["discarded"] == 1
+            assert pairs[2][0].fileno() == -1  # really closed
+        finally:
+            for left, right in pairs:
+                for sock in (left, right):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            network.close()
+
+    def test_close_drains_pool_and_discards_late_checkins(self, echo_net):
+        network, _server = echo_net
+        network.request("c", "echo", QueryMessage("/a"))
+        assert network.idle_connection_count() == 1
+        network.close()
+        assert network.idle_connection_count() == 0
+        left, right = socket.socketpair()
+        network._checkin("echo", left)
+        assert network.idle_connection_count() == 0
+        assert left.fileno() == -1
+        right.close()
+
+    def test_repeated_cluster_start_stop_leaks_no_sockets(self, paper_doc,
+                                                          paper_plan):
+        import os
+
+        def open_fds():
+            return len(os.listdir("/proc/self/fd"))
+
+        with TcpCluster(paper_doc.copy(), paper_plan) as tcp:
+            tcp.cluster.query(PREFIX + "/neighborhood[@id='Oakland']"
+                              "/block[@id='1']")
+        baseline = open_fds()
+        for _ in range(3):
+            with TcpCluster(paper_doc.copy(), paper_plan) as tcp:
+                tcp.cluster.query(PREFIX + "/neighborhood[@id='Oakland']"
+                                  "/block[@id='1']")
+        assert open_fds() <= baseline + 2  # no per-run fd growth

@@ -3,11 +3,9 @@
 import pytest
 
 from repro.arch import hierarchical
-from repro.net import Cluster, QueryMessage
+from repro.net import QueryMessage
 from repro.service import ParkingConfig, QueryWorkload, build_parking_document
 from repro.sim import CostModel, SimulatedCluster, TracingNetwork
-
-from tests.conftest import OAKLAND
 
 
 class TestCostModel:
@@ -36,6 +34,21 @@ class TestCostModel:
                                          fast=True)
         assert model.codegen_naive > naive_total / 2
         assert fast_total < naive_total / 2
+
+    def test_round_latency_unbounded_is_max(self):
+        model = CostModel(fanout_width=0)
+        assert model.round_latency([0.1, 0.4, 0.2]) == pytest.approx(0.4)
+        assert model.round_latency([]) == 0.0
+
+    def test_round_latency_bounded_runs_in_waves(self):
+        model = CostModel(fanout_width=2)
+        # Waves: [0.1, 0.4] -> 0.4, [0.2, 0.3] -> 0.3, [0.5] -> 0.5
+        assert model.round_latency([0.1, 0.4, 0.2, 0.3, 0.5]) == \
+            pytest.approx(0.4 + 0.3 + 0.5)
+
+    def test_round_latency_width_one_is_sequential(self):
+        model = CostModel(fanout_width=1)
+        assert model.round_latency([0.1, 0.4, 0.2]) == pytest.approx(0.7)
 
     def test_update_rate_near_200_per_second(self):
         """Section 5.2: a single OA handles about 200 updates/s."""
@@ -109,7 +122,6 @@ class TestSimulatedCluster:
         document = build_parking_document(config)
         light = SimulatedCluster(document.copy(), hierarchical(config))
         heavy = SimulatedCluster(document.copy(), hierarchical(config))
-        workload = QueryWorkload.qw(config, 1, seed=3)
         m_light = light.run(QueryWorkload.qw(config, 1, seed=3),
                             n_clients=1, duration=10, warmup=2)
         m_heavy = heavy.run(QueryWorkload.qw(config, 1, seed=3),

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.xmlkit import Document, Element, parse_fragment
+from repro.xmlkit import Document, parse_fragment
 from repro.xpath import compile_xpath, evaluate_xpath
 from repro.xpath.errors import XPathEvaluationError, XPathTypeError
 from repro.xpath.types import AttributeRef

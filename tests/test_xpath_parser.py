@@ -9,7 +9,6 @@ from repro.xpath.ast import (
     FunctionCall,
     Literal,
     LocationPath,
-    NameTest,
     NumberLiteral,
     VariableReference,
 )
