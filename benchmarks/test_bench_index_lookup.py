@@ -1,0 +1,179 @@
+"""Indexed fragment store: id-path lookup and re-serialization cost.
+
+A 10k-node sensor fragment is queried through the database's id-path
+index and through the seed's linear child-list scan; the index must
+resolve deep paths at least 10x faster.  The serialization memo is
+measured the same way: after a point update, re-serializing the whole
+document must run at least 5x faster than the uncached serializer,
+since only the root-to-leaf spine is rebuilt.
+
+Results are also written to ``BENCH_index_lookup.json`` so CI can
+archive the numbers.  ``REPRO_BENCH_QUICK=1`` shrinks the document and
+iteration counts for smoke runs.
+"""
+
+import json
+import os
+import random
+import time
+
+from benchmarks.conftest import print_table
+from repro.core import SensorDatabase
+from repro.xmlkit import Element, serialize
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+GROUPS = 20 if QUICK else 100
+SENSORS = 25 if QUICK else 100  # GROUPS * SENSORS IDable leaves
+LOOKUPS = 400 if QUICK else 2000
+UPDATES = 100 if QUICK else 400
+RESERIALIZE_ROUNDS = 3 if QUICK else 10
+#: The 10x target is for the full 10k-node fragment; the quick tree is
+#: small enough that the linear baseline is legitimately cheap.
+MIN_FIND_SPEEDUP = 3.0 if QUICK else 10.0
+MIN_SERIALIZE_SPEEDUP = 5.0
+RESULTS_FILE = "BENCH_index_lookup.json"
+
+
+def _build_database():
+    root = Element("region", attrib={"id": "R", "status": "id-complete"})
+    for group in range(GROUPS):
+        node = Element("group", attrib={
+            "id": f"g{group:03d}", "status": "owned", "timestamp": "0.0"})
+        for sensor in range(SENSORS):
+            leaf = Element("sensor", attrib={
+                "id": f"s{sensor:03d}", "status": "owned",
+                "timestamp": "0.0"})
+            leaf.append(Element("value", text=str(sensor)))
+            node.append(leaf)
+        root.append(node)
+    return SensorDatabase(root, clock=lambda: 1.0)
+
+
+def _sample_paths(rng, count):
+    return [
+        (("region", "R"),
+         ("group", f"g{rng.randrange(GROUPS):03d}"),
+         ("sensor", f"s{rng.randrange(SENSORS):03d}"))
+        for _ in range(count)
+    ]
+
+
+def _linear_find(root, id_path):
+    """The seed's lookup: a linear child-list scan per hop."""
+    if (root.tag, root.get("id")) != id_path[0]:
+        return None
+    current = root
+    for tag, identifier in id_path[1:]:
+        found = None
+        for child in current.children:
+            if (isinstance(child, Element) and child.tag == tag
+                    and child.get("id") == identifier):
+                found = child
+                break
+        if found is None:
+            return None
+        current = found
+    return current
+
+
+def _time(thunk):
+    started = time.perf_counter()
+    thunk()
+    return time.perf_counter() - started
+
+
+def _run():
+    database = _build_database()
+    rng = random.Random(42)
+    paths = _sample_paths(rng, LOOKUPS)
+    database.find(paths[0])  # build the index outside the timed region
+
+    # No asserts inside the timed loops: pytest's assertion rewriting
+    # instruments them heavily enough to mask the lookup cost.
+    def indexed():
+        missing = 0
+        for path in paths:
+            if database.find(path) is None:
+                missing += 1
+        return missing
+
+    def linear():
+        missing = 0
+        for path in paths:
+            if _linear_find(database.root, path) is None:
+                missing += 1
+        return missing
+
+    assert linear() == 0 and indexed() == 0  # warm up + sanity
+    linear_time = _time(linear)
+    indexed_time = _time(indexed)
+
+    update_paths = _sample_paths(rng, UPDATES)
+
+    def updates():
+        for index, path in enumerate(update_paths):
+            database.apply_update(path, values={"value": str(index)})
+
+    update_time = _time(updates)
+
+    # Re-serialization after a point update: memoized vs from scratch.
+    serialize(database.root)  # warm the memo
+    reserialize_paths = _sample_paths(rng, RESERIALIZE_ROUNDS)
+
+    def reserialize(use_cache):
+        def thunk():
+            for index, path in enumerate(reserialize_paths):
+                database.apply_update(path, values={"value": f"r{index}"})
+                serialize(database.root, use_cache=use_cache)
+        return thunk
+
+    uncached_time = _time(reserialize(False))
+    cached_time = _time(reserialize(True))
+
+    return {
+        "nodes": GROUPS * SENSORS + GROUPS + 1,
+        "lookups": LOOKUPS,
+        "linear_ops_per_s": LOOKUPS / linear_time,
+        "indexed_ops_per_s": LOOKUPS / indexed_time,
+        "find_speedup": linear_time / indexed_time,
+        "update_ops_per_s": UPDATES / update_time,
+        "reserialize_rounds": RESERIALIZE_ROUNDS,
+        "uncached_serialize_s": uncached_time / RESERIALIZE_ROUNDS,
+        "cached_serialize_s": cached_time / RESERIALIZE_ROUNDS,
+        "serialize_speedup": uncached_time / cached_time,
+        "index_stats": {
+            key: database.stats[key]
+            for key in ("index_hits", "index_misses", "index_rebuilds")
+        },
+    }
+
+
+def test_index_lookup_speedup(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_table(
+        f"Id-path lookup over a {outcome['nodes']}-node fragment",
+        ["ops/s", "speedup"],
+        [
+            ("linear scan", outcome["linear_ops_per_s"], 1.0),
+            ("indexed", outcome["indexed_ops_per_s"],
+             round(outcome["find_speedup"], 1)),
+            ("find+apply_update", outcome["update_ops_per_s"], ""),
+        ],
+    )
+    print_table(
+        "Whole-document re-serialization after a point update",
+        ["s/round", "speedup"],
+        [
+            ("uncached", outcome["uncached_serialize_s"], 1.0),
+            ("memoized", outcome["cached_serialize_s"],
+             round(outcome["serialize_speedup"], 1)),
+        ],
+    )
+    with open(RESULTS_FILE, "w", encoding="utf-8") as handle:
+        json.dump(outcome, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert outcome["index_stats"]["index_rebuilds"] <= 2
+    assert outcome["find_speedup"] >= MIN_FIND_SPEEDUP
+    assert outcome["serialize_speedup"] >= MIN_SERIALIZE_SPEEDUP

@@ -15,9 +15,10 @@ import time
 from repro.core.errors import CacheError, CoreError
 from repro.core.idable import (
     find_by_id_path,
-    id_path_of,
+    format_id_path,
     id_stub,
     idable_children,
+    iter_idable_with_paths,
     lowest_idable_ancestor_or_self,
     node_id,
     non_idable_children,
@@ -46,6 +47,16 @@ class SensorDatabase:
         self.root = root
         self.clock = clock or time.time
         self.site_id = site_id
+        # The id-path index: (tag, id) path tuple -> live element, for
+        # every IDable node.  Guarded by the root's subtree version
+        # stamp: the database's own mutators maintain it incrementally
+        # and re-stamp it; any out-of-band tree mutation (e.g. schema
+        # evolution appending under an owned parent) leaves the stamp
+        # behind and the next access rebuilds from scratch.
+        self._index = {}
+        self._index_stamp = None
+        self._index_dirty = True
+        self._size_cache = None
         # Statistics used by the caching experiments.
         self.stats = {
             "updates_applied": 0,
@@ -53,6 +64,9 @@ class SensorDatabase:
             "nodes_upgraded": 0,
             "nodes_refreshed": 0,
             "evictions": 0,
+            "index_hits": 0,
+            "index_misses": 0,
+            "index_rebuilds": 0,
         }
 
     # ------------------------------------------------------------------
@@ -67,10 +81,107 @@ class SensorDatabase:
         return cls(root, clock=clock, site_id=site_id)
 
     # ------------------------------------------------------------------
+    # The id-path index
+    # ------------------------------------------------------------------
+    def _index_current(self):
+        return (not self._index_dirty
+                and self._index_stamp == self.root.subtree_version)
+
+    def _ensure_index(self):
+        if not self._index_current():
+            self._index = dict(iter_idable_with_paths(self.root))
+            self._index_stamp = self.root.subtree_version
+            self._index_dirty = False
+            self.stats["index_rebuilds"] += 1
+
+    def _mark_index_current(self):
+        """Re-stamp after an internal mutation maintained the index."""
+        if not self._index_dirty:
+            self._index_stamp = self.root.subtree_version
+
+    def _invalidate_index(self):
+        """Give up on incremental maintenance until the next rebuild."""
+        self._index_dirty = True
+
+    def _unregister_descendants(self, element, path):
+        """Drop index entries for every IDable node strictly below
+        *element* (whose own entry, at *path*, stays)."""
+        for child in idable_children(element):
+            child_path = path + (node_id(child),)
+            self._unregister_descendants(child, child_path)
+            self._index.pop(child_path, None)
+
+    @staticmethod
+    def _content_carries_ids(children):
+        """Whether removing/adding this non-IDable content can change
+        which nodes are IDable (id-bearing elements hiding in it)."""
+        for child in children:
+            if isinstance(child, Element):
+                for node in child.iter():
+                    if node.attrib.get("id") is not None:
+                        return True
+        return False
+
+    def debug_verify_index(self, expect_current=True):
+        """Check the id-path index against a from-scratch rebuild.
+
+        Returns a list of human-readable inconsistencies (empty =
+        consistent).  A stale stamp is legal in general (the next
+        access rebuilds) but with ``expect_current=True`` -- the mode
+        tests use right after a database operation -- it is reported,
+        since the database's own mutators must leave the index live.
+        """
+        problems = []
+        if not self._index_current():
+            if expect_current:
+                problems.append("index is stale (rebuild pending)")
+            return problems
+        fresh = dict(iter_idable_with_paths(self.root))
+        for path, element in fresh.items():
+            stored = self._index.get(path)
+            if stored is None:
+                problems.append(f"missing entry {format_id_path(path)}")
+            elif stored is not element:
+                problems.append(
+                    f"entry {format_id_path(path)} maps to a dead element"
+                )
+        for path in self._index:
+            if path not in fresh:
+                problems.append(f"ghost entry {format_id_path(path)}")
+        return problems
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def find(self, id_path, required=False):
-        """Resolve an ID path to the stored element (or ``None``)."""
+        """Resolve an ID path to the stored element (or ``None``).
+
+        Well-formed paths (every hop carrying an id) resolve through
+        the id-path index in one hash lookup.  Degenerate paths -- and
+        index misses, which in exotic trees can still resolve linearly
+        (e.g. hops through duplicated sibling ids, which the index
+        deliberately excludes) -- fall back to the linear walk.
+        """
+        if self._index_dirty or self._index_stamp != self.root._version:
+            self._ensure_index()
+        try:
+            # Fast path: callers usually pass the canonical tuple-of-
+            # tuples spelling, which is the index key verbatim.  Index
+            # keys are always well-formed, so a hit needs no validation.
+            element = self._index.get(id_path)
+        except TypeError:
+            element = None  # list-based spelling; normalized below
+        if element is None:
+            key = tuple(map(tuple, id_path))
+            if key and all(
+                len(entry) == 2 and entry[1] is not None for entry in key
+            ):
+                element = self._index.get(key)
+                if element is None:
+                    self.stats["index_misses"] += 1
+        if element is not None:
+            self.stats["index_hits"] += 1
+            return element
         return find_by_id_path(self.root, id_path, required=required)
 
     def status_of(self, element):
@@ -89,24 +200,37 @@ class SensorDatabase:
         return get_status(element) is Status.OWNED
 
     def iter_idable(self):
-        """Yield every IDable node stored at this site, top-down."""
-        stack = [self.root]
-        while stack:
-            element = stack.pop()
-            yield element
-            stack.extend(reversed(idable_children(element)))
+        """Yield every IDable node stored at this site, top-down.
+
+        Served from the id-path index (insertion order is ancestors
+        before descendants, which is all "top-down" promises).
+        """
+        self._ensure_index()
+        return iter(list(self._index.values()))
 
     def owned_nodes(self):
         """All nodes this site owns."""
         return [e for e in self.iter_idable() if get_status(e) is Status.OWNED]
 
     def owned_paths(self):
-        """ID paths of all owned nodes."""
-        return [tuple(id_path_of(e)) for e in self.owned_nodes()]
+        """ID paths of all owned nodes.
+
+        One pass over the index -- paths are its keys, so no per-node
+        walk to the root happens.
+        """
+        self._ensure_index()
+        return [
+            path
+            for path, element in self._index.items()
+            if get_status(element) is Status.OWNED
+        ]
 
     def size(self):
-        """Number of element nodes stored."""
-        return self.root.size()
+        """Number of element nodes stored (memoized per tree version)."""
+        stamp = self.root.subtree_version
+        if self._size_cache is None or self._size_cache[0] != stamp:
+            self._size_cache = (stamp, self.root.size())
+        return self._size_cache[1]
 
     # ------------------------------------------------------------------
     # Sensor updates (owner side)
@@ -125,6 +249,7 @@ class SensorDatabase:
         update to the owner), or :class:`UnknownNodeError` when the
         node is not stored at all.
         """
+        self._ensure_index()
         element = self.find(id_path, required=True)
         if require_owned and get_status(element) is not Status.OWNED:
             raise CoreError(
@@ -148,6 +273,10 @@ class SensorDatabase:
             child.set_text(text)
         set_timestamp(element, self.clock())
         self.stats["updates_applied"] += 1
+        # Updates touch only local information (no id/status changes,
+        # created value children carry no id), so the IDable node set
+        # is unchanged: re-stamp the index instead of rebuilding.
+        self._mark_index_current()
         return element
 
     # ------------------------------------------------------------------
@@ -179,10 +308,12 @@ class SensorDatabase:
                 f"fragment rooted at {node_id(fragment)} does not match "
                 f"database root {node_id(self.root)}"
             )
-        self._merge_node(self.root, fragment)
+        self._ensure_index()
+        self._merge_node(self.root, fragment, (node_id(self.root),))
         self.stats["fragments_merged"] += 1
+        self._mark_index_current()
 
-    def _merge_node(self, target, incoming):
+    def _merge_node(self, target, incoming, path):
         target_status = get_status(target)
         incoming_status = get_status(incoming)
 
@@ -204,17 +335,29 @@ class SensorDatabase:
         # Recurse into matched IDable children; graft unmatched ones.
         index = {node_id(c): c for c in idable_children(target)}
         for child in idable_children(incoming):
-            existing = index.get(node_id(child))
+            key = node_id(child)
+            existing = index.get(key)
             if existing is None:
-                grafted = self._graft_stub(target, child)
-                self._merge_node(grafted, child)
+                grafted = self._graft_stub(target, child, path)
+                self._merge_node(grafted, child, path + (key,))
             else:
-                self._merge_node(existing, child)
+                self._merge_node(existing, child, path + (key,))
 
-    def _graft_stub(self, target, incoming_child):
+    def _graft_stub(self, target, incoming_child, parent_path):
         stub = id_stub(incoming_child)
         set_status(stub, Status.INCOMPLETE)
         target.append(stub)
+        key = node_id(stub)
+        if key[1] is not None and sum(
+            1 for sibling in target.element_children(stub.tag)
+            if sibling.attrib.get("id") == key[1]
+        ) == 1:
+            self._index[parent_path + (key,)] = stub
+        else:
+            # The graft collided with same-id siblings (possible only
+            # in degenerate trees): IDability around it changed in ways
+            # not worth tracking incrementally.
+            self._invalidate_index()
         return stub
 
     def _adopt_content(self, target, incoming, incoming_status):
@@ -227,9 +370,18 @@ class SensorDatabase:
             for name, value in incoming.attrib.items():
                 if name != "id":
                     target.set(name, value)
-            for child in list(non_idable_children(target)):
+            outgoing = list(non_idable_children(target))
+            adopted = non_idable_children(incoming)
+            # Swapping non-IDable content cannot change the IDable node
+            # set -- unless id-bearing elements hide inside it (sibling
+            # id collisions and the like); then stop maintaining the
+            # index incrementally and let the next access rebuild.
+            if self._content_carries_ids(outgoing) or \
+                    self._content_carries_ids(adopted):
+                self._invalidate_index()
+            for child in outgoing:
                 target.remove(child)
-            for child in non_idable_children(incoming):
+            for child in adopted:
                 target.append(child.copy())
         set_status(target, incoming_status)
 
@@ -248,6 +400,7 @@ class SensorDatabase:
         Owned data cannot be evicted, nor can a subtree containing an
         owned node.
         """
+        self._ensure_index()
         element = self.find(id_path, required=True)
         if get_status(element) is Status.OWNED:
             raise CacheError(f"cannot evict owned node {node_id(element)}")
@@ -257,15 +410,22 @@ class SensorDatabase:
                     f"cannot evict {node_id(element)}: descendant "
                     f"{node_id(descendant)} is owned here"
                 )
+        path = tuple(map(tuple, id_path))
         if keep_ids:
-            for child in list(non_idable_children(element)):
+            dropped = list(non_idable_children(element))
+            if self._content_carries_ids(dropped):
+                self._invalidate_index()
+            for child in dropped:
                 element.remove(child)
             for child in idable_children(element):
+                self._unregister_descendants(child, path + (node_id(child),))
                 self._demote_to_stub(child)
             set_status(element, Status.ID_COMPLETE)
         else:
+            self._unregister_descendants(element, path)
             self._demote_to_stub(element)
         self.stats["evictions"] += 1
+        self._mark_index_current()
         return element
 
     def evict_all_cached(self):
@@ -275,10 +435,11 @@ class SensorDatabase:
         by experiments that control cache hit ratios.  Returns the
         number of nodes evicted.
         """
+        self._ensure_index()
         evicted = 0
-        stack = [self.root]
+        stack = [(self.root, (node_id(self.root),))]
         while stack:
-            element = stack.pop()
+            element, path = stack.pop()
             status = get_status(element)
             if status is Status.COMPLETE:
                 has_owned_below = any(
@@ -286,16 +447,25 @@ class SensorDatabase:
                     for d in element.descendants()
                 )
                 if not has_owned_below:
+                    self._unregister_descendants(element, path)
                     self._demote_to_stub(element)
                     self.stats["evictions"] += 1
                     evicted += 1
                     continue
-            stack.extend(idable_children(element))
+            stack.extend(
+                (child, path + (node_id(child),))
+                for child in idable_children(element)
+            )
+        self._mark_index_current()
         return evicted
 
     def _demote_to_stub(self, element):
-        for child in list(element.children):
-            element.remove(child)
+        """Strip *element* to a bare ID stub.
+
+        Callers are responsible for unregistering any IDable
+        descendants from the index first.
+        """
+        element.clear_children()
         for name in list(element.attrib):
             if name != "id":
                 element.delete_attribute(name)
@@ -306,6 +476,7 @@ class SensorDatabase:
     # ------------------------------------------------------------------
     def mark_owned(self, id_path):
         """Promote a complete node to owned (migration step 3, new owner)."""
+        self._ensure_index()
         element = self.find(id_path, required=True)
         if not get_status(element).has_local_information:
             raise CoreError(
@@ -313,14 +484,17 @@ class SensorDatabase:
                 "information is not stored (fetch it first)"
             )
         set_status(element, Status.OWNED)
+        self._mark_index_current()  # status flips keep the node set
         return element
 
     def release_ownership(self, id_path):
         """Demote an owned node to complete (migration step 3, old owner)."""
+        self._ensure_index()
         element = self.find(id_path, required=True)
         if get_status(element) is not Status.OWNED:
             raise CoreError(f"{node_id(element)} is not owned here")
         set_status(element, Status.COMPLETE)
+        self._mark_index_current()
         return element
 
     # ------------------------------------------------------------------
@@ -346,15 +520,13 @@ class SensorDatabase:
     # ------------------------------------------------------------------
     def describe(self):
         """A compact status summary, for debugging and tests."""
+        self._ensure_index()
         lines = []
-        for element in self.iter_idable():
-            path = "/".join(
-                f"{tag}={identifier}" for tag, identifier in id_path_of(element)
-            )
+        for path, element in self._index.items():
             status = get_status(element)
             stamp = get_timestamp(element)
             suffix = f" t={stamp:.0f}" if stamp is not None else ""
-            lines.append(f"{path} [{status.value}]{suffix}")
+            lines.append(f"{format_id_path(path)} [{status.value}]{suffix}")
         return "\n".join(lines)
 
     def __repr__(self):

@@ -174,6 +174,26 @@ def iter_idable(root):
         stack.extend(reversed(idable_children(element)))
 
 
+def iter_idable_with_paths(root):
+    """Yield ``(id_path, element)`` for every IDable node, top-down.
+
+    Paths are built incrementally during one preorder traversal --
+    O(nodes) total, unlike calling :func:`id_path_of` per node, which
+    walks to the root each time (O(nodes x depth)).  This is both the
+    fast way to enumerate paths (e.g. ``owned_paths``) and the
+    from-scratch construction of the id-path index in
+    :class:`~repro.core.database.SensorDatabase`.
+    """
+    stack = [((node_id(root),), root)]
+    while stack:
+        path, element = stack.pop()
+        yield path, element
+        stack.extend(
+            (path + (node_id(child),), child)
+            for child in reversed(idable_children(element))
+        )
+
+
 def lowest_idable_ancestor_or_self(element):
     """The element itself if IDable-in-place, else its nearest such ancestor.
 

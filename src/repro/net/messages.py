@@ -46,6 +46,7 @@ class Message:
     def __init__(self, sender=None, message_id=None):
         self.sender = sender
         self.message_id = message_id if message_id is not None else _next_id()
+        self._encoded = None
 
     # -- encoding -------------------------------------------------------
     def to_element(self):
@@ -62,8 +63,17 @@ class Message:
         raise NotImplementedError
 
     def encode(self):
-        """The message as an XML string."""
-        return serialize(self.to_element())
+        """The message as an XML string.
+
+        Messages are write-once, so the envelope is built and
+        serialized only on the first call; ``encoded_size`` plus the
+        actual send then share one serialization.  Fragment payloads
+        are copied into the envelope with their serialization memos
+        intact, so clean subtrees contribute their cached bytes.
+        """
+        if self._encoded is None:
+            self._encoded = serialize(self.to_element())
+        return self._encoded
 
     def encoded_size(self):
         """Approximate wire size in bytes."""

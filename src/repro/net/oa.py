@@ -400,6 +400,25 @@ class OrganizingAgent:
         return removed
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def engine_counters(self):
+        """Hot-path engine counters for this site.
+
+        Index hit/miss/rebuild numbers come from the site database's
+        id-path index; the serialization reuse numbers are a snapshot
+        of the process-wide memo counters (every OA in this process
+        shares the serializer).
+        """
+        from repro.xmlkit.serializer import serialization_stats
+
+        return {
+            "index_hits": self.database.stats["index_hits"],
+            "index_misses": self.database.stats["index_misses"],
+            "index_rebuilds": self.database.stats["index_rebuilds"],
+            "serialization": serialization_stats(),
+        }
+
     def __repr__(self):
         return (
             f"OrganizingAgent({self.site_id!r}, "

@@ -1,6 +1,39 @@
 """Metrics collection for simulated experiments."""
 
 
+def collect_engine_counters(databases):
+    """Aggregate hot-path engine counters across site databases.
+
+    Sums the id-path index hit/miss/rebuild counters of every
+    :class:`~repro.core.database.SensorDatabase` in *databases* (a
+    mapping of site -> database or an iterable of databases) and
+    snapshots the process-wide serialization reuse counters, so
+    experiments can report how much of the engine work was served from
+    the caches.
+    """
+    from repro.xmlkit.serializer import serialization_stats
+
+    if hasattr(databases, "values"):
+        databases = databases.values()
+    totals = {"index_hits": 0, "index_misses": 0, "index_rebuilds": 0}
+    for database in databases:
+        for key in totals:
+            totals[key] += database.stats.get(key, 0)
+    serialization = serialization_stats()
+    reused = serialization["cache_hits"]
+    rebuilt = serialization["cache_misses"]
+    totals["serialization_reused"] = reused
+    totals["serialization_rebuilt"] = rebuilt
+    total_lookups = totals["index_hits"] + totals["index_misses"]
+    totals["index_hit_ratio"] = (
+        round(totals["index_hits"] / total_lookups, 3) if total_lookups else 0.0
+    )
+    totals["serialization_reuse_ratio"] = (
+        round(reused / (reused + rebuilt), 3) if reused + rebuilt else 0.0
+    )
+    return totals
+
+
 class WorkloadMetrics:
     """Throughput and latency accounting over a measurement window."""
 

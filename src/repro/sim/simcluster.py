@@ -203,3 +203,12 @@ class SimulatedCluster:
             site: round(server.utilization(horizon), 3)
             for site, server in self.servers.items()
         }
+
+    def engine_counters(self):
+        """Index and serialization cache counters across all sites."""
+        from repro.sim.metrics import collect_engine_counters
+
+        return collect_engine_counters(
+            {site: agent.database
+             for site, agent in self.cluster.agents.items()}
+        )

@@ -20,6 +20,8 @@ from repro.xmlkit.parser import parse_document, parse_file, parse_fragment
 from repro.xmlkit.serializer import (
     escape_attribute,
     escape_text,
+    reset_serialization_stats,
+    serialization_stats,
     serialize,
     write_file,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "parse_file",
     "parse_fragment",
     "serialize",
+    "serialization_stats",
+    "reset_serialization_stats",
     "write_file",
     "escape_text",
     "escape_attribute",

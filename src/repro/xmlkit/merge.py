@@ -47,9 +47,11 @@ def merge_into(target, source, prefer_source=True, key=default_key,
 
 
 def _merge_element(target, source, prefer_source, key, on_merge):
+    # Attribute writes go through set() so subtree version stamps (and
+    # with them the id-path index and serialization memo) stay honest.
     for name, value in source.attrib.items():
         if prefer_source or name not in target.attrib:
-            target.attrib[name] = value
+            target.set(name, value)
 
     source_text = source.text
     if source_text is not None:

@@ -12,10 +12,23 @@ keeps children in a list, but all comparison and caching logic in the
 rest of the system is order-insensitive.
 """
 
+import itertools
+
 from repro.xmlkit.errors import XmlStructureError
 
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
 _NAME_CHARS = _NAME_START | set("0123456789-.")
+
+#: Global monotone clock for subtree version stamps.  Every mutation of
+#: an element (attributes, text, children) stamps the element and all
+#: its ancestors with a fresh reading, so ``subtree_version`` changes
+#: iff anything inside the subtree changed.  Consumers (the id-path
+#: index in :mod:`repro.core.database`, the serialization memo in
+#: :mod:`repro.xmlkit.serializer`, the per-element child maps below)
+#: compare stamps instead of hashing content.
+_VERSION_CLOCK = itertools.count(1)
+
+_ABSENT = object()
 
 
 def is_valid_name(name):
@@ -68,7 +81,8 @@ class Element:
     XPath engine to support the ``parent`` and ``ancestor`` axes.
     """
 
-    __slots__ = ("tag", "attrib", "children", "parent")
+    __slots__ = ("tag", "attrib", "children", "parent",
+                 "_version", "_ser_cache", "_kid_maps", "_ser_origin")
 
     def __init__(self, tag, attrib=None, children=(), text=None):
         if not is_valid_name(tag):
@@ -80,10 +94,33 @@ class Element:
                 raise XmlStructureError(f"invalid attribute name: {name!r}")
         self.children = []
         self.parent = None
+        self._version = 0
+        self._ser_cache = None
+        self._kid_maps = None
+        self._ser_origin = None
         for child in children:
             self.append(child)
         if text is not None:
             self.append(Text(text))
+
+    # ------------------------------------------------------------------
+    # Version stamps
+    # ------------------------------------------------------------------
+    @property
+    def subtree_version(self):
+        """A stamp that changes whenever anything in this subtree changes.
+
+        Two readings being equal guarantees no mutation happened in
+        between (stamps are never reused); the converse does not hold.
+        """
+        return self._version
+
+    def _touch(self):
+        stamp = next(_VERSION_CLOCK)
+        node = self
+        while node is not None:
+            node._version = stamp
+            node = node.parent
 
     # ------------------------------------------------------------------
     # Attribute access
@@ -96,11 +133,15 @@ class Element:
         """Set attribute *name* to the string form of *value*."""
         if not is_valid_name(name):
             raise XmlStructureError(f"invalid attribute name: {name!r}")
-        self.attrib[name] = str(value)
+        value = str(value)
+        if self.attrib.get(name, _ABSENT) != value:
+            self.attrib[name] = value
+            self._touch()
 
     def delete_attribute(self, name):
         """Remove attribute *name*; a no-op if it is absent."""
-        self.attrib.pop(name, None)
+        if self.attrib.pop(name, _ABSENT) is not _ABSENT:
+            self._touch()
 
     @property
     def id(self):
@@ -121,6 +162,7 @@ class Element:
             raise XmlStructureError("node already has a parent; detach it first")
         node.parent = self
         self.children.append(node)
+        self._touch()
         return node
 
     def extend(self, nodes):
@@ -135,6 +177,7 @@ class Element:
         except ValueError:
             raise XmlStructureError("node is not a child of this element") from None
         node.parent = None
+        self._touch()
 
     def detach(self):
         """Detach this element from its parent (no-op if already detached)."""
@@ -144,9 +187,12 @@ class Element:
 
     def clear_children(self):
         """Remove all children (both elements and text)."""
+        if not self.children:
+            return
         for child in self.children:
             child.parent = None
         self.children = []
+        self._touch()
 
     def set_text(self, value):
         """Replace all text children with a single text node.
@@ -155,10 +201,12 @@ class Element:
         character data.
         """
         kept = [c for c in self.children if isinstance(c, Element)]
-        for child in self.children:
-            if isinstance(child, Text):
-                child.parent = None
-        self.children = kept
+        if len(kept) != len(self.children):
+            for child in self.children:
+                if isinstance(child, Text):
+                    child.parent = None
+            self.children = kept
+            self._touch()
         if value is not None:
             self.append(Text(value))
 
@@ -200,11 +248,26 @@ class Element:
                 yield child
 
     def child(self, tag, id=None):
-        """Return the first child element with *tag* (and *id*), or ``None``."""
-        for child in self.element_children(tag):
-            if id is None or child.id == id:
-                return child
-        return None
+        """Return the first child element with *tag* (and *id*), or ``None``.
+
+        Lookups go through a lazily built per-element map from ``tag``
+        (and ``(tag, id)``) to the first matching child, invalidated by
+        the subtree version stamp, so resolving one hop of an ID path
+        is a hash lookup instead of a linear sibling scan.
+        """
+        maps = self._kid_maps
+        if maps is None or maps[0] != self._version:
+            first_by_tag = {}
+            by_key = {}
+            for node in self.children:
+                if isinstance(node, Element):
+                    first_by_tag.setdefault(node.tag, node)
+                    by_key.setdefault((node.tag, node.attrib.get("id")), node)
+            maps = (self._version, first_by_tag, by_key)
+            self._kid_maps = maps
+        if id is None:
+            return maps[1].get(tag)
+        return maps[2].get((tag, id))
 
     def iter(self, tag=None):
         """Depth-first iterator over this element and its descendants."""
@@ -251,13 +314,63 @@ class Element:
         return chain
 
     # ------------------------------------------------------------------
+    # Serialization memo (used by :mod:`repro.xmlkit.serializer`)
+    # ------------------------------------------------------------------
+    def cached_serialization(self, key):
+        """The memoized serialization for *key*, if still valid.
+
+        A cached string is valid only while the subtree version stamp
+        it was stored under is current, i.e. nothing in the subtree has
+        mutated since.
+        """
+        cache = self._ser_cache
+        if cache is None:
+            return None
+        entry = cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        return None
+
+    def store_serialization(self, key, text):
+        """Memoize *text* as this subtree's serialization for *key*.
+
+        If this node is a still-pristine copy of an origin that has not
+        mutated since the copy was taken, the bytes are written back to
+        the origin too: the wire paths serialize short-lived copies of
+        long-lived database content, and the write-back is what lets
+        the *next* answer built from the same content reuse the bytes.
+        """
+        if self._ser_cache is None:
+            self._ser_cache = {}
+        self._ser_cache[key] = (self._version, text)
+        origin = self._ser_origin
+        if origin is not None:
+            source, source_stamp, clone_stamp = origin
+            if self._version == clone_stamp and \
+                    source._version == source_stamp:
+                source.store_serialization(key, text)
+
+    # ------------------------------------------------------------------
     # Copying
     # ------------------------------------------------------------------
     def copy(self):
-        """Return a detached deep copy of this subtree."""
+        """Return a detached deep copy of this subtree.
+
+        Valid serialization memos travel with the copy: the clone is
+        content-identical, so bytes cached for this subtree serialize
+        the clone too.  This is what lets the wire paths (which copy
+        fragments into message envelopes) reuse clean subtrees' bytes.
+        """
         clone = Element(self.tag, attrib=self.attrib)
         for child in self.children:
             clone.append(child.copy())
+        cache = self._ser_cache
+        if cache:
+            version = self._version
+            for key, (stamp, text) in cache.items():
+                if stamp == version:
+                    clone.store_serialization(key, text)
+        clone._ser_origin = (self, self._version, clone._version)
         return clone
 
     def shallow_copy(self):

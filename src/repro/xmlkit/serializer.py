@@ -1,23 +1,49 @@
-"""Serialization of the node model back to XML text."""
+"""Serialization of the node model back to XML text.
+
+Compact serialization is memoized per subtree: every element can cache
+its serialized form together with the subtree version stamp it was
+computed under (see :class:`~repro.xmlkit.nodes.Element`).  A later
+``serialize`` call reuses the cached bytes for every subtree that has
+not mutated since, so re-serializing a large document after a point
+update only rebuilds the spine from the mutated node to the root.
+The memo is semantically transparent: output is byte-identical with
+and without it (``use_cache=False`` forces the uncached path, which
+the property tests compare against).
+"""
 
 from repro.xmlkit.nodes import Document, Text
 
-_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+_TEXT_TABLE = str.maketrans({"&": "&amp;", "<": "&lt;", ">": "&gt;"})
+_ATTR_TABLE = str.maketrans(
+    {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+)
+
+#: Reuse accounting for the serialization memo.  ``cache_hits`` counts
+#: subtrees whose bytes were reused verbatim, ``cache_misses`` subtrees
+#: that had to be (re)serialized.  Reset with
+#: :func:`reset_serialization_stats`.
+SERIALIZATION_STATS = {"cache_hits": 0, "cache_misses": 0}
+
+
+def reset_serialization_stats():
+    """Zero the serialization reuse counters (tests, benchmarks)."""
+    for key in SERIALIZATION_STATS:
+        SERIALIZATION_STATS[key] = 0
+
+
+def serialization_stats():
+    """A snapshot of the serialization reuse counters."""
+    return dict(SERIALIZATION_STATS)
 
 
 def escape_text(value):
     """Escape character data for element content."""
-    for raw, escaped in _TEXT_ESCAPES.items():
-        value = value.replace(raw, escaped)
-    return value
+    return value.translate(_TEXT_TABLE)
 
 
 def escape_attribute(value):
     """Escape character data for a double-quoted attribute value."""
-    for raw, escaped in _ATTR_ESCAPES.items():
-        value = value.replace(raw, escaped)
-    return value
+    return value.translate(_ATTR_TABLE)
 
 
 def _attributes_to_string(element, sort_attributes):
@@ -29,18 +55,27 @@ def _attributes_to_string(element, sort_attributes):
     )
 
 
-def _write_compact(node, out, sort_attributes):
+def _compact_string(node, sort_attributes, use_cache):
     if isinstance(node, Text):
-        out.append(escape_text(node.value))
-        return
-    out.append(f"<{node.tag}{_attributes_to_string(node, sort_attributes)}")
+        return escape_text(node.value)
+    if use_cache:
+        cached = node.cached_serialization(sort_attributes)
+        if cached is not None:
+            SERIALIZATION_STATS["cache_hits"] += 1
+            return cached
+        SERIALIZATION_STATS["cache_misses"] += 1
+    open_tag = f"<{node.tag}{_attributes_to_string(node, sort_attributes)}"
     if not node.children:
-        out.append("/>")
-        return
-    out.append(">")
-    for child in node.children:
-        _write_compact(child, out, sort_attributes)
-    out.append(f"</{node.tag}>")
+        text = open_tag + "/>"
+    else:
+        parts = [open_tag, ">"]
+        for child in node.children:
+            parts.append(_compact_string(child, sort_attributes, use_cache))
+        parts.append(f"</{node.tag}>")
+        text = "".join(parts)
+    if use_cache:
+        node.store_serialization(sort_attributes, text)
+    return text
 
 
 def _write_pretty(node, out, indent, level, sort_attributes):
@@ -63,21 +98,23 @@ def _write_pretty(node, out, indent, level, sort_attributes):
     out.append(f"{pad}</{node.tag}>\n")
 
 
-def serialize(node, pretty=False, indent="  ", sort_attributes=False):
+def serialize(node, pretty=False, indent="  ", sort_attributes=False,
+              use_cache=True):
     """Serialize an :class:`Element` or :class:`Document` to a string.
 
     With ``pretty=True`` the output is indented, one element per line.
     With ``sort_attributes=True`` attributes are emitted in sorted order,
     which gives deterministic output useful for hashing and testing.
+    ``use_cache=False`` disables the per-subtree memo (compact mode
+    only; pretty output is never cached because it depends on depth).
     """
     if isinstance(node, Document):
         node = node.root
-    out = []
     if pretty:
+        out = []
         _write_pretty(node, out, indent, 0, sort_attributes)
-    else:
-        _write_compact(node, out, sort_attributes)
-    return "".join(out)
+        return "".join(out)
+    return _compact_string(node, sort_attributes, use_cache)
 
 
 def write_file(node, path, pretty=True):

@@ -1,0 +1,128 @@
+"""Properties of the id-path index and the serialization memo.
+
+Random interleavings of the database mutators must leave the index
+exactly equal to a from-scratch rebuild, and memoized serialization
+must stay byte-identical to the uncached serializer at every step.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CacheError, CoreError, SensorDatabase
+from repro.core.idable import iter_idable_with_paths
+from repro.xmlkit import Element, serialize
+
+_ROOT = (("top", "R"),)
+_MID_COUNT = 4
+_LEAF_COUNT = 3
+
+
+def _mid_path(mid):
+    return _ROOT + (("mid", f"m{mid}"),)
+
+
+def _leaf_path(mid, leaf):
+    return _mid_path(mid) + (("leaf", f"l{leaf}"),)
+
+
+def _build_database():
+    """Root owns m0's subtree; the other mids start as bare stubs."""
+    root = Element("top", attrib={"id": "R", "status": "id-complete"})
+    for mid in range(_MID_COUNT):
+        if mid == 0:
+            node = Element("mid", attrib={
+                "id": "m0", "status": "owned", "timestamp": "0.0"})
+            node.append(Element("v", text="0"))
+            for leaf in range(_LEAF_COUNT):
+                child = Element("leaf", attrib={
+                    "id": f"l{leaf}", "status": "owned", "timestamp": "0.0"})
+                child.append(Element("v", text="0"))
+                node.append(child)
+        else:
+            node = Element("mid", attrib={
+                "id": f"m{mid}", "status": "incomplete"})
+        root.append(node)
+    return SensorDatabase(root, clock=lambda: 1234.0)
+
+
+def _wire_fragment(mid, timestamp, value):
+    """An answer fragment caching *mid*'s local information."""
+    root = Element("top", attrib={"id": "R", "status": "id-complete"})
+    node = Element("mid", attrib={
+        "id": f"m{mid}", "status": "complete",
+        "timestamp": f"{timestamp}.0"})
+    node.append(Element("v", text=str(value)))
+    for leaf in range(_LEAF_COUNT):
+        node.append(Element("leaf", attrib={
+            "id": f"l{leaf}", "status": "incomplete"}))
+    root.append(node)
+    return root
+
+
+_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), st.integers(0, _MID_COUNT - 1),
+                  st.integers(1, 9), st.integers(0, 99)),
+        st.tuples(st.just("update"), st.integers(0, _MID_COUNT - 1),
+                  st.integers(0, 99)),
+        st.tuples(st.just("update-leaf"), st.integers(0, _LEAF_COUNT - 1),
+                  st.integers(0, 99)),
+        st.tuples(st.just("evict"), st.integers(0, _MID_COUNT - 1),
+                  st.booleans()),
+        st.tuples(st.just("evict-all")),
+        st.tuples(st.just("own"), st.integers(0, _MID_COUNT - 1)),
+        st.tuples(st.just("release"), st.integers(0, _MID_COUNT - 1)),
+    ),
+    min_size=1, max_size=12,
+)
+
+
+def _apply(database, op):
+    """Run one operation; domain errors (evicting owned data, owning a
+    stub, ...) are legal no-ops for this property."""
+    kind = op[0]
+    try:
+        if kind == "store":
+            database.store_fragment(_wire_fragment(op[1], op[2], op[3]))
+        elif kind == "update":
+            database.apply_update(_mid_path(op[1]),
+                                  values={"v": str(op[2])},
+                                  require_owned=False)
+        elif kind == "update-leaf":
+            database.apply_update(_leaf_path(0, op[1]),
+                                  values={"v": str(op[2])})
+        elif kind == "evict":
+            database.evict(_mid_path(op[1]), keep_ids=op[2])
+        elif kind == "evict-all":
+            database.evict_all_cached()
+        elif kind == "own":
+            database.mark_owned(_mid_path(op[1]))
+        elif kind == "release":
+            database.release_ownership(_mid_path(op[1]))
+    except (CacheError, CoreError):
+        pass
+
+
+class TestIndexEquivalence:
+    @given(_OPERATIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_index_equals_rebuild_after_every_operation(self, operations):
+        database = _build_database()
+        database.find(_ROOT)  # force the initial build
+        for op in operations:
+            _apply(database, op)
+            assert database.debug_verify_index() == []
+        # And the index agrees with the linear resolver on every path.
+        for path, element in iter_idable_with_paths(database.root):
+            assert database.find(path) is element
+
+    @given(_OPERATIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_memoized_serialization_byte_identical(self, operations):
+        database = _build_database()
+        for op in operations:
+            _apply(database, op)
+            warm = serialize(database.root)
+            assert warm == serialize(database.root, use_cache=False)
+        warm_sorted = serialize(database.root, sort_attributes=True)
+        assert warm_sorted == serialize(
+            database.root, sort_attributes=True, use_cache=False)

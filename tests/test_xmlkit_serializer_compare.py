@@ -27,6 +27,24 @@ class TestEscaping:
         assert again.get("x") == 'v"<'
         assert again.text == "t<&"
 
+    def test_every_escaped_char_roundtrips(self):
+        # The full set the translate tables rewrite, mixed with
+        # untouched neighbours, in both text and attribute position.
+        payload = 'a&b<c>d"e\'f & << >> "" &amp;'
+        element = Element("a", attrib={"x": payload}, text=payload)
+        again = parse_fragment(serialize(element))
+        assert again.get("x") == payload
+        assert again.text == payload
+
+    def test_escape_leaves_clean_strings_alone(self):
+        clean = "plain text 123 _-.:'"
+        assert escape_text(clean) == clean
+        assert escape_attribute(clean) == clean
+
+    def test_escape_every_table_entry(self):
+        assert escape_text('&<>"') == '&amp;&lt;&gt;"'
+        assert escape_attribute('&<>"') == "&amp;&lt;&gt;&quot;"
+
 
 class TestSerialize:
     def test_empty_element_self_closes(self):
