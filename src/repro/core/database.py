@@ -16,6 +16,7 @@ from repro.core.errors import CacheError, CoreError
 from repro.core.idable import (
     find_by_id_path,
     format_id_path,
+    id_path_of,
     id_stub,
     idable_children,
     iter_idable_with_paths,
@@ -410,7 +411,15 @@ class SensorDatabase:
                     f"cannot evict {node_id(element)}: descendant "
                     f"{node_id(descendant)} is owned here"
                 )
-        path = tuple(map(tuple, id_path))
+        # Unregister under the element's *canonical* path, not the
+        # caller's spelling: find() also accepts degenerate paths (e.g.
+        # a (tag, None) hop resolved by the linear fallback), whose
+        # spelling is not an index key.  If the element is not indexed
+        # under its canonical path either (duplicated sibling ids), stop
+        # maintaining incrementally and let the next access rebuild.
+        path = tuple(id_path_of(element))
+        if self._index.get(path) is not element:
+            self._invalidate_index()
         if keep_ids:
             dropped = list(non_idable_children(element))
             if self._content_carries_ids(dropped):

@@ -39,7 +39,16 @@ def _decode_id_path(holder):
 
 
 class Message:
-    """Base class: kind dispatch plus XML envelope encoding."""
+    """Base class: kind dispatch plus XML envelope encoding.
+
+    Messages are **frozen after construction** by convention: nothing
+    enforces it, but :meth:`encode` memoizes the first serialization,
+    so construction must stay the only mutation point.  Any future
+    code path that edits a message after ``encode``/``encoded_size``
+    has run (e.g. stamping ``sender`` on a relay or retry) must call
+    :meth:`invalidate_encoding` afterwards or it will silently send
+    stale bytes.
+    """
 
     kind = "message"
 
@@ -74,6 +83,14 @@ class Message:
         if self._encoded is None:
             self._encoded = serialize(self.to_element())
         return self._encoded
+
+    def invalidate_encoding(self):
+        """Drop the memoized serialization after a field mutation.
+
+        Must accompany any post-construction edit of message fields;
+        see the class docstring.
+        """
+        self._encoded = None
 
     def encoded_size(self):
         """Approximate wire size in bytes."""

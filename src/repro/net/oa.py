@@ -405,10 +405,14 @@ class OrganizingAgent:
     def engine_counters(self):
         """Hot-path engine counters for this site.
 
-        Index hit/miss/rebuild numbers come from the site database's
-        id-path index; the serialization reuse numbers are a snapshot
-        of the process-wide memo counters (every OA in this process
-        shares the serializer).
+        Index hit/miss/rebuild numbers are genuinely per-site (they
+        come from this site database's id-path index).  The
+        serialization reuse numbers are a snapshot of the
+        *process-wide* memo counters -- every OA in this process shares
+        the serializer -- so they are tagged ``"scope": "process"`` and
+        must not be summed across sites (aggregate them once at cluster
+        level, as :func:`repro.sim.metrics.collect_engine_counters`
+        does).  They are best-effort under concurrency.
         """
         from repro.xmlkit.serializer import serialization_stats
 
@@ -416,7 +420,7 @@ class OrganizingAgent:
             "index_hits": self.database.stats["index_hits"],
             "index_misses": self.database.stats["index_misses"],
             "index_rebuilds": self.database.stats["index_rebuilds"],
-            "serialization": serialization_stats(),
+            "serialization": dict(serialization_stats(), scope="process"),
         }
 
     def __repr__(self):

@@ -75,8 +75,12 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
             message = Message.decode(payload)
             with self.server.agent_lock:
                 reply = self.server.agent.handle_message(message)
-            send_framed(self.request,
-                        reply.encode() if reply is not None else "")
+                # Encoding stays under the lock: serializing the reply
+                # touches shared site state (the serialization-memo
+                # write-back into database elements), so it must not
+                # race with another handler mutating the fragment.
+                payload = reply.encode() if reply is not None else ""
+            send_framed(self.request, payload)
 
 
 class TcpSiteServer(socketserver.ThreadingTCPServer):

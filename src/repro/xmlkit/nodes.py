@@ -343,12 +343,24 @@ class Element:
         if self._ser_cache is None:
             self._ser_cache = {}
         self._ser_cache[key] = (self._version, text)
-        origin = self._ser_origin
-        if origin is not None:
+        # Walk the origin chain (copies of copies reach the database
+        # element at the end).  Each entry is stored under the stamp
+        # that was *validated*, never re-read: a concurrent mutation of
+        # the source between check and store then leaves a harmlessly
+        # stale entry instead of filing old bytes under a fresh stamp.
+        node, stamp = self, self._version
+        while True:
+            origin = node._ser_origin
+            if origin is None:
+                break
             source, source_stamp, clone_stamp = origin
-            if self._version == clone_stamp and \
-                    source._version == source_stamp:
-                source.store_serialization(key, text)
+            if stamp != clone_stamp or source._version != source_stamp:
+                break
+            cache = source._ser_cache
+            if cache is None:
+                cache = source._ser_cache = {}
+            cache[key] = (source_stamp, text)
+            node, stamp = source, source_stamp
 
     # ------------------------------------------------------------------
     # Copying
@@ -367,7 +379,9 @@ class Element:
         cache = self._ser_cache
         if cache:
             version = self._version
-            for key, (stamp, text) in cache.items():
+            # Snapshot: a write-back from another thread may insert a
+            # key mid-iteration.
+            for key, (stamp, text) in list(cache.items()):
                 if stamp == version:
                     clone.store_serialization(key, text)
         clone._ser_origin = (self, self._version, clone._version)

@@ -97,6 +97,26 @@ class TestIndexMaintenance:
         assert oak_db.find(SHADY_BLOCK) is not None
         assert oak_db.find(SHADY_BLOCK + (("parkingSpace", "1"),)) is None
 
+    def test_evict_by_degenerate_path_keeps_index_consistent(self, oak_db):
+        # A (tag, None) hop resolves through the linear fallback to the
+        # id-bearing <state id='PA'> element, so the caller's spelling
+        # is not an index key; eviction must unregister descendants
+        # under the element's canonical path, not the spelling.
+        oak_db.store_fragment(_shady_fragment())
+        degenerate = SHADYSIDE[:1] + (("state", None),) + SHADYSIDE[2:]
+        oak_db.evict(degenerate)
+        assert oak_db.debug_verify_index() == []
+        assert oak_db.find(SHADY_BLOCK) is None
+        assert oak_db.find(SHADY_BLOCK + (("parkingSpace", "1"),)) is None
+
+    def test_evict_keep_ids_by_degenerate_path(self, oak_db):
+        oak_db.store_fragment(_shady_fragment())
+        degenerate = SHADYSIDE[:1] + (("state", None),) + SHADYSIDE[2:]
+        oak_db.evict(degenerate, keep_ids=True)
+        assert oak_db.debug_verify_index() == []
+        assert oak_db.find(SHADY_BLOCK) is not None
+        assert oak_db.find(SHADY_BLOCK + (("parkingSpace", "1"),)) is None
+
     def test_evict_all_cached_keeps_index_live(self, oak_db):
         oak_db.store_fragment(_shady_fragment())
         evicted = oak_db.evict_all_cached()
@@ -229,6 +249,16 @@ class TestSerializationMemo:
         # the same content reuses them.
         clone = oak_db.root.copy()
         text = serialize(clone)
+        reset_serialization_stats()
+        assert serialize(oak_db.root) == text
+        assert serialization_stats()["cache_misses"] == 0
+
+    def test_write_back_chains_through_copies_of_copies(self, oak_db):
+        # Envelope building can copy an already-copied fragment; the
+        # bytes must still reach the database element at the end of
+        # the origin chain.
+        grandchild_copy = oak_db.root.copy().copy()
+        text = serialize(grandchild_copy)
         reset_serialization_stats()
         assert serialize(oak_db.root) == text
         assert serialization_stats()["cache_misses"] == 0
