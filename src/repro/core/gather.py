@@ -26,7 +26,12 @@ from repro.core.aggregates import AggregateCache
 from repro.core.database import SensorDatabase
 from repro.core.errors import CoreError
 from repro.core.executors import resolve_executor
-from repro.core.idable import idable_children, lowest_idable_ancestor_or_self
+from repro.core.idable import (
+    id_path_of,
+    idable_children,
+    lowest_idable_ancestor_or_self,
+)
+from repro.core.answer import Subquery
 from repro.core.qeg import (
     FETCH_SUBTREE,
     GENERALIZE_ANSWER,
@@ -50,20 +55,98 @@ class GatherError(CoreError):
     """Raised when gathering fails to converge."""
 
 
+class SubqueryFailure:
+    """Terminal failure of one subquery dispatch (returned, not raised).
+
+    The network layer hands this back through ``send``/``send_many``
+    when a subquery exhausts its retry budget; the driver records it,
+    stops re-asking, and degrades the answer instead of raising.
+    ``causes`` lists what every attempt saw, last entry last.
+    """
+
+    __slots__ = ("subquery", "attempts", "causes", "stale_served")
+
+    def __init__(self, subquery, attempts, causes=()):
+        self.subquery = subquery
+        self.attempts = attempts
+        self.causes = [str(cause) for cause in causes]
+        #: Set by the driver when ``stale_on_error`` served the cached
+        #: copy of this region beyond its freshness bound.
+        self.stale_served = False
+
+    @property
+    def id_path(self):
+        return self.subquery.anchor_path
+
+    @property
+    def cause(self):
+        return self.causes[-1] if self.causes else ""
+
+    def report(self):
+        return {
+            "id_path": [list(entry) for entry in self.subquery.anchor_path],
+            "query": self.subquery.query,
+            "scalar": self.subquery.scalar,
+            "attempts": self.attempts,
+            "causes": list(self.causes),
+        }
+
+    def __repr__(self):
+        return (f"SubqueryFailure({self.subquery.query!r}, "
+                f"attempts={self.attempts}, cause={self.cause!r})")
+
+
 class GatherOutcome:
-    """Everything a gather run produced, for answering and accounting."""
+    """Everything a gather run produced, for answering and accounting.
+
+    ``failures`` holds one :class:`SubqueryFailure` per subquery that
+    exhausted its budget; an outcome with only ``stale_served``
+    failures still counts as *complete* (every region is represented,
+    some beyond its freshness bound), which
+    :meth:`completeness_report` spells out for machine consumption.
+    """
 
     def __init__(self, pattern, wire_answer, rounds, subqueries_sent,
-                 view):
+                 view, failures=()):
         self.pattern = pattern
         self.wire_answer = wire_answer
         self.rounds = rounds
         self.subqueries_sent = subqueries_sent
         self.view = view  # the database the answer was extracted from
+        self.failures = list(failures)
 
     @property
     def used_remote_data(self):
         return bool(self.subqueries_sent)
+
+    @property
+    def complete(self):
+        """Whether every queried region is represented in the answer."""
+        return not any(not failure.stale_served
+                       for failure in self.failures)
+
+    @property
+    def unreachable_paths(self):
+        """Sorted, deduplicated anchor id-paths of unserved failures."""
+        return tuple(sorted({failure.subquery.anchor_path
+                             for failure in self.failures
+                             if not failure.stale_served}))
+
+    def completeness_report(self):
+        """The machine-readable partial-answer contract.
+
+        ``unreachable`` lists regions absent from the answer (with the
+        subquery, attempt count and per-attempt causes);
+        ``stale_served`` lists regions served from cache beyond their
+        freshness bound under ``stale_on_error``.
+        """
+        return {
+            "complete": self.complete,
+            "unreachable": [failure.report() for failure in self.failures
+                            if not failure.stale_served],
+            "stale_served": [failure.report() for failure in self.failures
+                             if failure.stale_served],
+        }
 
 
 def _is_path_prefix(shorter, longer):
@@ -141,7 +224,7 @@ class GatherDriver:
     def __init__(self, database, send, schema=None, cache_results=True,
                  nesting_strategy=FETCH_SUBTREE,
                  generalization=GENERALIZE_ANSWER,
-                 executor=None, send_many=None):
+                 executor=None, send_many=None, stale_on_error=False):
         self.database = database
         self.send = send
         self.schema = schema
@@ -150,6 +233,7 @@ class GatherDriver:
         self.generalization = generalization
         self.executor = resolve_executor(executor)
         self.send_many = send_many
+        self.stale_on_error = stale_on_error
         self.aggregates = AggregateCache(database.clock)
         self._stats_lock = threading.Lock()
         self.stats = {
@@ -158,6 +242,9 @@ class GatherDriver:
             "subqueries_sent": 0,
             "local_hits": 0,
             "max_fanout": 0,
+            "failed_subqueries": 0,
+            "partial_gathers": 0,
+            "stale_served": 0,
         }
 
     # ------------------------------------------------------------------
@@ -189,6 +276,7 @@ class GatherDriver:
         answered = []
         answered_keys = set()
         sent = []
+        failures = []
         rounds = 0
         max_fanout = 0
         result = None
@@ -218,8 +306,19 @@ class GatherDriver:
             replies = self._dispatch_round(pending)
             for subquery, reply in zip(pending, replies):
                 sent.append(subquery)
-                answered.append(subquery)
                 answered_keys.add((subquery.query, subquery.scalar))
+                if isinstance(reply, SubqueryFailure):
+                    # Terminal failure: record it, never re-ask (the
+                    # key above suppresses re-emission), and degrade.
+                    # Deliberately NOT appended to ``answered``: a
+                    # failed fetch is not authoritative for anything,
+                    # so it must not subsume narrower asks.
+                    self._note_failure(reply, subquery, view)
+                    failures.append(reply)
+                    if subquery.scalar:
+                        probe_results[subquery.query] = None
+                    continue
+                answered.append(subquery)
                 if subquery.scalar:
                     probe_results[subquery.query] = reply
                 elif reply is not None:
@@ -237,7 +336,29 @@ class GatherDriver:
                                            max_fanout)
             if not sent:
                 self.stats["local_hits"] += 1
-        return GatherOutcome(pattern, result.answer, rounds, sent, view)
+            self.stats["failed_subqueries"] += len(failures)
+            self.stats["stale_served"] += sum(
+                1 for failure in failures if failure.stale_served)
+            if any(not failure.stale_served for failure in failures):
+                self.stats["partial_gathers"] += 1
+        return GatherOutcome(pattern, result.answer, rounds, sent, view,
+                             failures=failures)
+
+    def _note_failure(self, failure, subquery, view):
+        """Classify a terminal failure: stale-servable or unreachable.
+
+        The freshness relaxation only applies to STALE-reason asks --
+        the cached copy of the region is fully materialized, merely
+        older than the query's consistency bound -- and only when the
+        driver opted into ``stale_on_error``.  Everything else stays
+        unreachable and is excised from the final answer.
+        """
+        if not self.stale_on_error or subquery.reason != Subquery.STALE:
+            return
+        anchor = view.find(subquery.anchor_path)
+        if anchor is not None and \
+                get_status(anchor).has_local_information:
+            failure.stale_served = True
 
     def _dispatch_round(self, pending):
         """Send one round's subqueries; replies come back in input order."""
@@ -253,18 +374,28 @@ class GatherDriver:
 
         Returns ``(results, outcome)`` where *results* is a list of
         detached, system-attribute-free elements (the XPath answer).
+        Matches anchored in a region a subquery failed terminally for
+        are excised: the extraction pass strips consistency predicates
+        (freshness was enforced while gathering), so without the filter
+        a stale cached copy whose refresh failed would silently pass as
+        fresh -- the opposite of the paper's query-based consistency.
         """
         outcome = self.gather(query, now=now)
         if now is None:
             now = self.database.clock()
         matches = _EVALUATOR.evaluate(outcome.pattern.extraction_ast,
                                       outcome.view.root, now=now)
+        unreachable = outcome.unreachable_paths
         results = []
         for match in matches if isinstance(matches, list) else []:
             if isinstance(match, Text):
+                if self._in_unreachable_region(match.parent, unreachable):
+                    continue
                 results.append(Text(match.value))
                 continue
             if not isinstance(match, Element):
+                continue
+            if self._in_unreachable_region(match, unreachable):
                 continue
             anchor = lowest_idable_ancestor_or_self(match)
             if not get_status(anchor).has_local_information:
@@ -273,6 +404,25 @@ class GatherDriver:
                 continue  # partially gathered artifact
             results.append(strip_internal_attributes(match.copy()))
         return results, outcome
+
+    @staticmethod
+    def _in_unreachable_region(element, unreachable):
+        """Whether *element* overlaps a region whose fetch failed.
+
+        Both directions matter: a failed ask *above* the match means
+        the match's data may be stale/partial, and a failed ask *below*
+        it means part of the match's subtree is; either way the match
+        cannot be vouched for.
+        """
+        if not unreachable or element is None:
+            return False
+        anchor = lowest_idable_ancestor_or_self(element)
+        anchor_path = tuple(tuple(entry) for entry in id_path_of(anchor))
+        return any(
+            _is_path_prefix(failed, anchor_path)
+            or _is_path_prefix(anchor_path, failed)
+            for failed in unreachable
+        )
 
     def answer_subquery(self, query, now=None):
         """Answer a subquery from a peer site: the generalized wire fragment."""

@@ -3,31 +3,45 @@
 The paper's deployment -- organizing agents on Internet-connected PCs,
 sensor proxies feeding them, DNS carrying the node-to-site mapping --
 rebuilt in-process with deterministic loopback delivery (and a locking
-variant for genuinely concurrent execution).
+variant for genuinely concurrent execution).  The fault layer --
+retries with deterministic backoff, per-peer circuit breakers, partial
+answers and the seeded :class:`FaultyNetwork` -- lives in
+:mod:`repro.net.retry` and :mod:`repro.net.faults`.
 """
 
 from repro.net.cluster import Cluster
 from repro.net.continuous import ContinuousQueryManager, Subscription
 from repro.net.dns import DnsRecord, DnsResolver, DnsServer
 from repro.net.errors import (
+    CircuitOpenError,
     MessageError,
     MigrationError,
     NameNotFound,
     NetError,
+    RemoteError,
     UnknownSite,
 )
+from repro.net.faults import FaultyNetwork, InjectedFault, SiteDown
 from repro.net.messages import (
     AckMessage,
     AdoptMessage,
     AnswerMessage,
     BatchAnswerMessage,
     BatchQueryMessage,
+    ErrorMessage,
     Message,
     QueryMessage,
     UpdateMessage,
     clean_results,
 )
 from repro.net.oa import OAConfig, OrganizingAgent
+from repro.net.retry import (
+    BreakerPolicy,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    SiteHealthTracker,
+)
 from repro.net.runtime import (
     ClientWorkloadResult,
     LockingNetwork,
@@ -55,11 +69,20 @@ __all__ = [
     "TcpNetwork",
     "TcpSiteServer",
     "TrafficLog",
+    "FaultyNetwork",
+    "InjectedFault",
+    "SiteDown",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "SiteHealthTracker",
+    "Deadline",
     "Message",
     "QueryMessage",
     "AnswerMessage",
     "BatchQueryMessage",
     "BatchAnswerMessage",
+    "ErrorMessage",
     "UpdateMessage",
     "AckMessage",
     "AdoptMessage",
@@ -72,4 +95,6 @@ __all__ = [
     "UnknownSite",
     "MessageError",
     "MigrationError",
+    "RemoteError",
+    "CircuitOpenError",
 ]

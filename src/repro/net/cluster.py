@@ -28,7 +28,7 @@ class Cluster:
 
     def __init__(self, global_document, plan, service="parking",
                  zone="intel-iris.net", oa_config=None, clock=None,
-                 count_bytes=False, schema=None):
+                 count_bytes=False, schema=None, network=None):
         if not isinstance(plan, PartitionPlan):
             plan = PartitionPlan(plan)
         from repro.xmlkit.nodes import Document as _Document
@@ -39,7 +39,10 @@ class Cluster:
         self.plan = plan
         self.clock = clock or (lambda: 0.0)
         self.schema = schema or HierarchySchema.from_document(global_document)
-        self.network = LoopbackNetwork(count_bytes=count_bytes)
+        # An injected network (e.g. a FaultyNetwork-wrapped loopback)
+        # must still expose register()/request(); anything extra is the
+        # wrapper's business.
+        self.network = network or LoopbackNetwork(count_bytes=count_bytes)
         self.dns = DnsServer(service=service, zone=zone)
         self.owner_map = plan.owner_map(global_document)
         for path, site in self.owner_map.items():

@@ -110,7 +110,8 @@ class DnsResolver:
         self.max_entries = max_entries
         self._cache = OrderedDict()  # name -> (site, expires_at)
         self._lock = threading.Lock()
-        self.stats = {"hits": 0, "misses": 0, "evictions": 0}
+        self.stats = {"hits": 0, "misses": 0, "evictions": 0,
+                      "invalidations": 0}
 
     def resolve(self, name):
         now = self.clock()
@@ -134,9 +135,15 @@ class DnsResolver:
         return self.resolve(self.server.name_for(id_path))
 
     def invalidate(self, name=None):
-        """Drop one cached entry, or the whole cache."""
+        """Drop one cached entry, or the whole cache.
+
+        The retry layer calls this between attempts so a re-resolution
+        reaches the authoritative server -- a stale entry pointing at a
+        dead or former owner is a prime cause of repeated failures.
+        """
         with self._lock:
             if name is None:
                 self._cache.clear()
             else:
                 self._cache.pop(name, None)
+            self.stats["invalidations"] += 1

@@ -19,3 +19,25 @@ class MessageError(NetError):
 
 class MigrationError(NetError):
     """Raised when an ownership migration cannot be carried out."""
+
+
+class RemoteError(NetError):
+    """A peer replied with a structured :class:`ErrorMessage`.
+
+    ``retryable`` mirrors the wire flag: a transient failure (injected
+    fault, transport hiccup at the remote) may be retried, a
+    deterministic one (handler bug, undecodable request) will fail
+    again and should not burn the attempt budget.
+    """
+
+    def __init__(self, code, detail="", retryable=True, site=None):
+        location = f"site {site!r} " if site is not None else ""
+        super().__init__(f"{location}replied error {code!r}: {detail}")
+        self.code = code
+        self.detail = detail
+        self.retryable = retryable
+        self.site = site
+
+
+class CircuitOpenError(NetError):
+    """A send was refused locally because the peer's circuit is open."""

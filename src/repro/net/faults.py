@@ -1,0 +1,182 @@
+"""Deterministic, seeded fault injection over any transport.
+
+:class:`FaultyNetwork` wraps a network exposing the standard
+``request``/``tell`` interface (:class:`~repro.net.transport.LoopbackNetwork`,
+:class:`~repro.net.tcpruntime.TcpNetwork`, the simulator's tracing
+variant) and injects the failure modes of a wide-area deployment:
+
+- **drops** -- the request never reaches the peer (raises
+  :class:`InjectedFault`, an ``OSError``, exactly what a dead link
+  looks like to the retry layer);
+- **resets** -- the request *is* delivered and processed but the reply
+  is lost (connection reset between send and receive; exercises
+  at-least-once semantics);
+- **error replies** -- the peer answers with a retryable
+  :class:`~repro.net.messages.ErrorMessage` instead of an answer;
+- **delays** -- the request is slowed by ``delay`` seconds;
+- **site crashes** -- every request to a crashed site fails until
+  :meth:`recover` (schedulable mid-test for crash/recovery scenarios).
+
+Decisions are *deterministic*: each (src, dst) link keeps a request
+counter, and the fault draw for request *n* on a link is a BLAKE2 hash
+of ``(seed, src, dst, n)``.  A fixed seed therefore reproduces the
+same fault pattern for the same per-link request sequence regardless
+of thread interleaving, ``PYTHONHASHSEED``, or which transport is
+underneath.
+"""
+
+import threading
+import time
+
+from repro.net.messages import ErrorMessage
+from repro.net.retry import hash_fraction
+
+
+class InjectedFault(ConnectionError):
+    """A transport failure injected by :class:`FaultyNetwork`.
+
+    Subclasses ``ConnectionError`` (an ``OSError``) so the retry layer
+    treats injected faults exactly like real transport failures.
+    """
+
+
+class SiteDown(InjectedFault):
+    """The destination site is crashed (by schedule or :meth:`crash`)."""
+
+
+class FaultyNetwork:
+    """A seeded chaos wrapper around a real transport.
+
+    One fraction is drawn per request and mapped onto the fault ranges
+    in a fixed order -- drop, reset, error reply, delay -- so the rates
+    are mutually exclusive probabilities (their sum must stay <= 1).
+    Everything else (registration, traffic accounting, pool stats,
+    ``requires_serial_dispatch``...) is delegated to the wrapped
+    network untouched.
+    """
+
+    def __init__(self, inner, seed=0, drop_rate=0.0, reset_rate=0.0,
+                 error_rate=0.0, delay_rate=0.0, delay=0.0,
+                 down_sites=(), sleep=time.sleep):
+        total = drop_rate + reset_rate + error_rate + delay_rate
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"fault rates sum to {total}, must be <= 1")
+        for name, rate in (("drop_rate", drop_rate),
+                           ("reset_rate", reset_rate),
+                           ("error_rate", error_rate),
+                           ("delay_rate", delay_rate)):
+            if rate < 0:
+                raise ValueError(f"{name} must be >= 0, got {rate}")
+        self.inner = inner
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.reset_rate = reset_rate
+        self.error_rate = error_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        self.sleep = sleep
+        self._down = set(down_sites)
+        self._counters = {}
+        self._lock = threading.Lock()
+        self.fault_stats = {
+            "requests": 0,
+            "drops": 0,
+            "resets": 0,
+            "error_replies": 0,
+            "delays": 0,
+            "down_refused": 0,
+            "delivered": 0,
+        }
+
+    # -- crash schedule --------------------------------------------------
+    def crash(self, site):
+        """Take *site* down: every request to it fails until recovery."""
+        with self._lock:
+            self._down.add(site)
+
+    def recover(self, site):
+        with self._lock:
+            self._down.discard(site)
+
+    def is_down(self, site):
+        with self._lock:
+            return site in self._down
+
+    # -- fault draws -----------------------------------------------------
+    def _draw(self, src, dst):
+        """The deterministic fraction for this link's next request."""
+        with self._lock:
+            sequence = self._counters.get((src, dst), 0)
+            self._counters[(src, dst)] = sequence + 1
+            self.fault_stats["requests"] += 1
+        return hash_fraction(self.seed, src, dst, sequence)
+
+    def _count(self, key):
+        with self._lock:
+            self.fault_stats[key] += 1
+
+    def _decide(self, src, dst):
+        """``(fault or None)`` for the next request on this link."""
+        if self.is_down(dst):
+            self._count("down_refused")
+            return "down"
+        fraction = self._draw(src, dst)
+        edge = self.drop_rate
+        if fraction < edge:
+            self._count("drops")
+            return "drop"
+        edge += self.reset_rate
+        if fraction < edge:
+            self._count("resets")
+            return "reset"
+        edge += self.error_rate
+        if fraction < edge:
+            self._count("error_replies")
+            return "error"
+        edge += self.delay_rate
+        if fraction < edge:
+            self._count("delays")
+            return "delay"
+        return None
+
+    # -- transport interface --------------------------------------------
+    def request(self, src, dst, message):
+        fault = self._decide(src, dst)
+        if fault == "down":
+            raise SiteDown(f"injected: site {dst!r} is down")
+        if fault == "drop":
+            raise InjectedFault(
+                f"injected: {message.kind} {src!r}->{dst!r} dropped")
+        if fault == "reset":
+            # Delivered and processed -- only the reply is lost.
+            self.inner.request(src, dst, message)
+            raise InjectedFault(
+                f"injected: connection {src!r}->{dst!r} reset before reply")
+        if fault == "error":
+            return ErrorMessage(message.message_id, code="injected-error",
+                                detail="injected error reply",
+                                retryable=True, sender=dst)
+        if fault == "delay" and self.delay > 0:
+            self.sleep(self.delay)
+        reply = self.inner.request(src, dst, message)
+        self._count("delivered")
+        return reply
+
+    def tell(self, src, dst, message):
+        """One-way send: injected losses vanish silently, as on a WAN."""
+        fault = self._decide(src, dst)
+        if fault in ("down", "drop"):
+            return
+        if fault == "error":
+            return  # the sender ignores replies anyway
+        if fault == "delay" and self.delay > 0:
+            self.sleep(self.delay)
+        self.inner.tell(src, dst, message)
+        if fault != "reset":
+            self._count("delivered")
+
+    def __getattr__(self, name):
+        # Registration, traffic log, pool stats, close()... all behave
+        # as if the wrapper were not there.
+        return getattr(self.inner, name)

@@ -159,21 +159,28 @@ class AnswerMessage(Message):
     """The reply to a :class:`QueryMessage`.
 
     Carries a wire fragment (subqueries), a scalar (probes/aggregates)
-    or a list of clean result elements (user queries).
+    or a list of clean result elements (user queries).  *completeness*
+    is an optional machine-readable report (see
+    :meth:`~repro.core.gather.GatherOutcome.completeness_report`)
+    attached only when the answer is partial or served stale data --
+    complete answers encode byte-identically to a report-free reply.
     """
 
     kind = "answer"
 
     def __init__(self, in_reply_to, fragment=None, scalar=None, results=None,
-                 sender=None, message_id=None):
+                 completeness=None, sender=None, message_id=None):
         super().__init__(sender=sender, message_id=message_id)
         self.in_reply_to = in_reply_to
         self.fragment = fragment
         self.scalar = scalar
         self.results = results
+        self.completeness = completeness
 
     def _fill(self, envelope):
         envelope.set("replyTo", str(self.in_reply_to))
+        if self.completeness is not None:
+            envelope.append(_encode_completeness(self.completeness))
         if self.scalar is not None:
             holder = Element("scalar",
                              attrib={"type": type(self.scalar).__name__})
@@ -209,14 +216,62 @@ class AnswerMessage(Message):
         if results_holder is not None:
             results = [child.copy() for child in
                        results_holder.element_children()]
+        completeness_holder = envelope.child("completeness")
+        completeness = (
+            _decode_completeness(completeness_holder)
+            if completeness_holder is not None else None
+        )
         return cls(
             in_reply_to=int(envelope.get("replyTo")),
             fragment=fragment,
             scalar=scalar,
             results=results,
+            completeness=completeness,
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+
+def _encode_completeness(report):
+    holder = Element("completeness", attrib={
+        "complete": "1" if report.get("complete") else "0",
+    })
+    for section in ("unreachable", "stale_served"):
+        for entry in report.get(section, ()):
+            item = Element("miss", attrib={
+                "section": section,
+                "attempts": str(entry.get("attempts", 0)),
+                "scalar": "1" if entry.get("scalar") else "0",
+            })
+            item.append(_encode_id_path(entry.get("id_path", ())))
+            item.append(Element("q", text=entry.get("query", "")))
+            for cause in entry.get("causes", ()):
+                item.append(Element("cause", text=cause))
+            holder.append(item)
+    return holder
+
+
+def _decode_completeness(holder):
+    report = {
+        "complete": holder.get("complete") == "1",
+        "unreachable": [],
+        "stale_served": [],
+    }
+    for item in holder.element_children("miss"):
+        section = item.get("section")
+        if section not in report:
+            continue
+        query = item.child("q")
+        report[section].append({
+            "id_path": [list(entry) for entry
+                        in _decode_id_path(item.child("path"))],
+            "query": (query.text or "") if query is not None else "",
+            "scalar": item.get("scalar") == "1",
+            "attempts": int(item.get("attempts") or 0),
+            "causes": [cause.text or ""
+                       for cause in item.element_children("cause")],
+        })
+    return report
 
 
 def _scalar_to_text(value):
@@ -334,6 +389,47 @@ class BatchAnswerMessage(Message):
 
     def __len__(self):
         return len(self.answers)
+
+
+class ErrorMessage(Message):
+    """A structured failure reply.
+
+    Sent instead of an answer when a peer could not process a request
+    -- a handler exception, an undecodable frame, or an injected fault
+    standing in for a broken site.  ``retryable`` tells the caller
+    whether the same request may legitimately succeed on a retry
+    (transient fault) or will deterministically fail again (handler
+    bug, malformed request) and should not burn the attempt budget.
+    """
+
+    kind = "error"
+
+    def __init__(self, in_reply_to, code="error", detail="", retryable=True,
+                 sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = int(in_reply_to)
+        self.code = code
+        self.detail = detail
+        self.retryable = bool(retryable)
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        envelope.set("code", self.code)
+        envelope.set("retryable", "1" if self.retryable else "0")
+        if self.detail:
+            envelope.append(Element("detail", text=self.detail))
+
+    @classmethod
+    def _parse(cls, envelope):
+        detail = envelope.child("detail")
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            code=envelope.get("code") or "error",
+            detail=(detail.text or "") if detail is not None else "",
+            retryable=envelope.get("retryable") == "1",
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
 
 
 class UpdateMessage(Message):
@@ -460,6 +556,6 @@ def clean_results(results):
 _KINDS = {
     cls.kind: cls
     for cls in (QueryMessage, AnswerMessage, BatchQueryMessage,
-                BatchAnswerMessage, UpdateMessage, AckMessage,
-                AdoptMessage)
+                BatchAnswerMessage, ErrorMessage, UpdateMessage,
+                AckMessage, AdoptMessage)
 }

@@ -8,7 +8,7 @@ forwards sensor updates, and takes part in ownership migrations.
 
 from repro.core.errors import CoreError
 from repro.core.executors import SerialExecutor, resolve_executor
-from repro.core.gather import GatherDriver
+from repro.core.gather import GatherDriver, SubqueryFailure
 from repro.core.idable import id_path_of, idable_children
 from repro.core.ownership import (
     export_local_information,
@@ -18,16 +18,28 @@ from repro.core.evolution import add_idable_child, remove_idable_child
 from repro.core.qeg import FETCH_SUBTREE, GENERALIZE_ANSWER
 from repro.core.status import Status, get_status
 from repro.net.continuous import ContinuousQueryManager
-from repro.net.errors import MigrationError, NetError
+from repro.net.errors import (
+    CircuitOpenError,
+    MigrationError,
+    NetError,
+    RemoteError,
+)
 from repro.net.messages import (
     AckMessage,
     AdoptMessage,
     AnswerMessage,
     BatchAnswerMessage,
     BatchQueryMessage,
+    ErrorMessage,
     QueryMessage,
     UpdateMessage,
     clean_results,
+)
+from repro.net.retry import (
+    DEFAULT_RETRY_POLICY,
+    BreakerPolicy,
+    Deadline,
+    SiteHealthTracker,
 )
 
 
@@ -55,16 +67,41 @@ class OAConfig:
         parallelism in virtual time), or any object with a
         ``map(fn, items)`` method.  Answers are identical under every
         executor; only wall-clock dispatch differs.
+    ``retry_policy``
+        the :class:`~repro.net.retry.RetryPolicy` governing subquery
+        dispatch (``None`` for the shared default).  On the success
+        path the policy is invisible: no extra wire messages, byte-
+        identical answers.
+    ``breaker``
+        the per-peer circuit breaker:
+        a :class:`~repro.net.retry.BreakerPolicy`, ``None`` for the
+        default, or ``False`` to disable breaking entirely.
+    ``partial_answers``
+        when a subquery exhausts its attempt budget, degrade: mark the
+        region unreachable, answer with what *is* reachable, and carry
+        a machine-readable completeness report on the outcome
+        (the default).  ``False`` restores the legacy loud surface --
+        the last transport error is re-raised through the gather.
+    ``stale_on_error``
+        serve a fully-cached region beyond its freshness bound when
+        its refresh fails terminally -- an explicit relaxation of the
+        paper's query-based consistency (Section 4), reported under
+        ``stale_served`` in the completeness report.  Off by default.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
                  fast_codegen=True, generalization=GENERALIZE_ANSWER,
-                 executor=None):
+                 executor=None, retry_policy=None, breaker=None,
+                 partial_answers=True, stale_on_error=False):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
         self.generalization = generalization
         self.executor = executor
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.partial_answers = partial_answers
+        self.stale_on_error = stale_on_error
 
 
 class OrganizingAgent:
@@ -80,6 +117,12 @@ class OrganizingAgent:
         self.config = config or OAConfig()
         self.clock = clock or database.clock
         self.executor = resolve_executor(self.config.executor)
+        self.retry_policy = self.config.retry_policy or DEFAULT_RETRY_POLICY
+        breaker = self.config.breaker
+        self.health = (
+            None if breaker is False
+            else SiteHealthTracker(breaker or BreakerPolicy())
+        )
         self.driver = GatherDriver(
             database,
             send=self._send_subquery,
@@ -89,6 +132,7 @@ class OrganizingAgent:
             generalization=self.config.generalization,
             executor=self.executor,
             send_many=self._send_subqueries,
+            stale_on_error=self.config.stale_on_error,
         )
         self.continuous = ContinuousQueryManager(self)
         self.stats = {
@@ -100,22 +144,34 @@ class OrganizingAgent:
             "batches_sent": 0,
             "migrations_out": 0,
             "migrations_in": 0,
+            "retries": 0,
+            "subquery_failures": 0,
+            "circuit_fast_fails": 0,
+            "dns_refreshes": 0,
         }
 
     # ------------------------------------------------------------------
     # Outgoing subqueries
     # ------------------------------------------------------------------
-    def _resolve_target(self, subquery):
+    def _resolve_target(self, subquery, refresh=False):
         """The responsible site, or ``None`` when DNS retired the node.
 
         A missing record means the node was deleted (schema evolution)
         and our stub is a transient leftover: authoritative DNS says it
         no longer exists, so the subquery answers "nothing" -- exactly
         the transient inconsistency Section 4 accepts.
+
+        With *refresh* the cached entry is dropped first and resolution
+        goes back to the authoritative server -- between retry attempts
+        the cache may be the problem (the owner migrated or was
+        delegated away and our entry is stale).
         """
         from repro.net.errors import NameNotFound
 
         name = self.resolver.server.name_for(subquery.anchor_path)
+        if refresh:
+            self.resolver.invalidate(name)
+            self.stats["dns_refreshes"] += 1
         try:
             target, _hops = self.resolver.resolve(name)
         except NameNotFound:
@@ -128,10 +184,7 @@ class OrganizingAgent:
         if target is None:
             return None
         self.stats["subqueries_sent"] += 1
-        if target == self.site_id:
-            # Ownership race or self-anchored fetch: answer locally.
-            return self.driver.answer_any(subquery.query)
-        return self._ship_single(target, subquery)
+        return self._dispatch_with_retry(target, [subquery])[0]
 
     def _send_subqueries(self, subqueries):
         """One gather round's fan-out: batch per destination, in parallel.
@@ -141,7 +194,9 @@ class OrganizingAgent:
         framed request -- per site with several asks), dispatches the
         per-site groups concurrently through the configured executor,
         and returns the replies in input order for the driver's
-        deterministic merge.
+        deterministic merge.  Each group runs through the retry layer;
+        terminal failures come back as per-subquery
+        :class:`~repro.core.gather.SubqueryFailure` sentinels.
         """
         replies = [None] * len(subqueries)
         groups = {}
@@ -163,10 +218,8 @@ class OrganizingAgent:
 
         def ship(entry):
             target, indices = entry
-            if len(indices) == 1:
-                return [self._ship_single(target, subqueries[indices[0]])]
-            return self._ship_batch(target,
-                                    [subqueries[i] for i in indices])
+            return self._dispatch_with_retry(
+                target, [subqueries[i] for i in indices])
 
         executor = self.executor
         if getattr(self.network, "requires_serial_dispatch", False):
@@ -180,10 +233,111 @@ class OrganizingAgent:
                 replies[index] = reply
         return replies
 
+    # -- the retry / breaker / degradation loop -------------------------
+    def _dispatch_with_retry(self, target, subqueries):
+        """Ship one same-destination group, surviving what can be survived.
+
+        Per attempt: the peer's circuit breaker gates the send (an open
+        circuit fails fast without touching the wire), transport errors
+        and structured :class:`ErrorMessage` replies count against the
+        attempt budget, and between attempts the anchor's DNS entry is
+        invalidated and re-resolved so retries follow migrated or
+        delegated owners.  On terminal failure, returns one
+        :class:`~repro.core.gather.SubqueryFailure` per subquery (or
+        re-raises the last error when ``partial_answers`` is off).  On
+        the success path -- one attempt, closed breaker -- this adds no
+        wire messages and no delays.
+        """
+        policy = self.retry_policy
+        deadline = Deadline(policy.deadline)
+        backoff_key = (self.site_id, target, subqueries[0].query)
+        causes = []
+        last_error = None
+        attempts = 0
+        while True:
+            attempts += 1
+            if target == self.site_id:
+                # Re-resolution brought the anchor home (adoption
+                # completed mid-retry): answer locally.
+                return [self.driver.answer_any(subquery.query)
+                        for subquery in subqueries]
+            if self.health is not None and not self.health.allow(target):
+                self.stats["circuit_fast_fails"] += 1
+                last_error = CircuitOpenError(
+                    f"circuit for site {target!r} is open")
+                causes.append(str(last_error))
+            else:
+                retryable = True
+                try:
+                    if len(subqueries) == 1:
+                        replies = [self._ship_single(target, subqueries[0])]
+                    else:
+                        replies = self._ship_batch(target, subqueries)
+                except RemoteError as exc:
+                    last_error = exc
+                    retryable = exc.retryable
+                    causes.append(f"site {target!r}: {exc.code}: "
+                                  f"{exc.detail}")
+                    self.stats["subquery_failures"] += 1
+                    if self.health is not None:
+                        self.health.record_failure(target)
+                except (OSError, NetError) as exc:
+                    last_error = exc
+                    causes.append(
+                        f"site {target!r}: {type(exc).__name__}: {exc}")
+                    self.stats["subquery_failures"] += 1
+                    if self.health is not None:
+                        self.health.record_failure(target)
+                else:
+                    if self.health is not None:
+                        self.health.record_success(target)
+                    return replies
+                if not retryable:
+                    break
+            if attempts >= policy.max_attempts or deadline.expired:
+                break
+            delay = deadline.clamp(policy.backoff(attempts, backoff_key))
+            if delay > 0:
+                policy.sleep(delay)
+            self.stats["retries"] += 1
+            # The owner may have migrated (or our DNS entry gone stale
+            # with a dead site): re-resolve through authoritative DNS
+            # before the next attempt.
+            new_targets = {
+                self._resolve_target(subquery, refresh=True)
+                for subquery in subqueries
+            }
+            if len(new_targets) == 1:
+                new_target = new_targets.pop()
+                if new_target is None:
+                    # DNS retired every node in the group: the regions
+                    # no longer exist, which is an ordinary "nothing".
+                    return [None] * len(subqueries)
+                target = new_target
+            else:
+                # The group no longer shares one owner (a migration
+                # landed mid-retry): finish each ask independently.
+                return [self._redispatch(subquery)
+                        for subquery in subqueries]
+        if not self.config.partial_answers:
+            raise last_error
+        return [SubqueryFailure(subquery, attempts, causes)
+                for subquery in subqueries]
+
+    def _redispatch(self, subquery):
+        """Restart one subquery on fresh DNS (post-divergence path)."""
+        target = self._resolve_target(subquery)
+        if target is None:
+            return None
+        return self._dispatch_with_retry(target, [subquery])[0]
+
     def _ship_single(self, target, subquery):
         message = QueryMessage(subquery.query, now=self.clock(),
                                scalar=subquery.scalar, sender=self.site_id)
         reply = self.network.request(self.site_id, target, message)
+        if isinstance(reply, ErrorMessage):
+            raise RemoteError(reply.code, reply.detail,
+                              retryable=reply.retryable, site=target)
         if not isinstance(reply, AnswerMessage):
             raise NetError(
                 f"site {target!r} replied {type(reply).__name__} to a subquery"
@@ -197,6 +351,9 @@ class OrganizingAgent:
             [(subquery.query, subquery.scalar) for subquery in subqueries],
             now=self.clock(), sender=self.site_id)
         reply = self.network.request(self.site_id, target, message)
+        if isinstance(reply, ErrorMessage):
+            raise RemoteError(reply.code, reply.detail,
+                              retryable=reply.retryable, site=target)
         if not isinstance(reply, BatchAnswerMessage):
             raise NetError(
                 f"site {target!r} replied {type(reply).__name__} to a "
@@ -248,11 +405,17 @@ class OrganizingAgent:
     def _handle_query(self, message):
         if message.user:
             self.stats["user_queries"] += 1
-            results, _outcome = self.driver.answer_user_query(
+            results, outcome = self.driver.answer_user_query(
                 message.query, now=message.now
             )
+            completeness = None
+            if outcome is not None and outcome.failures:
+                # Partial answer: ship the machine-readable report so
+                # the front-end knows exactly which regions are missing.
+                completeness = outcome.completeness_report()
             return AnswerMessage(message.message_id,
                                  results=clean_results(results),
+                                 completeness=completeness,
                                  sender=self.site_id)
         self.stats["subqueries_served"] += 1
         if message.scalar:
@@ -422,6 +585,12 @@ class OrganizingAgent:
             "index_rebuilds": self.database.stats["index_rebuilds"],
             "serialization": dict(serialization_stats(), scope="process"),
         }
+
+    def health_snapshot(self):
+        """Per-peer circuit-breaker state, ``{}`` when breaking is off."""
+        if self.health is None:
+            return {}
+        return self.health.snapshot()
 
     def __repr__(self):
         return (

@@ -13,14 +13,17 @@ as :class:`~repro.net.transport.LoopbackNetwork`, so agents are unaware
 of which transport carries them.
 """
 
+import logging
 import socket
 import socketserver
 import struct
 import threading
 
 from repro.net.errors import NetError, UnknownSite
-from repro.net.messages import Message
+from repro.net.messages import ErrorMessage, Message
 from repro.net.transport import TrafficLog
+
+logger = logging.getLogger(__name__)
 
 _HEADER = struct.Struct(">I")
 MAX_MESSAGE_BYTES = 64 * 1024 * 1024
@@ -72,15 +75,45 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                 return
             if payload is None:
                 return
-            message = Message.decode(payload)
-            with self.server.agent_lock:
-                reply = self.server.agent.handle_message(message)
-                # Encoding stays under the lock: serializing the reply
-                # touches shared site state (the serialization-memo
-                # write-back into database elements), so it must not
-                # race with another handler mutating the fragment.
-                payload = reply.encode() if reply is not None else ""
-            send_framed(self.request, payload)
+            try:
+                message = Message.decode(payload)
+            except Exception as exc:  # XmlParseError, MessageError, ...
+                # A malformed frame must not kill the connection loop
+                # (nor the server thread): tell the peer what happened.
+                logger.warning("site %r: undecodable frame: %s",
+                               self.server.agent.site_id, exc)
+                reply = ErrorMessage(
+                    0, code="bad-message",
+                    detail=f"{type(exc).__name__}: {exc}",
+                    retryable=False, sender=self.server.agent.site_id)
+                payload = reply.encode()
+            else:
+                try:
+                    with self.server.agent_lock:
+                        reply = self.server.agent.handle_message(message)
+                        # Encoding stays under the lock: serializing the
+                        # reply touches shared site state (the
+                        # serialization-memo write-back into database
+                        # elements), so it must not race with another
+                        # handler mutating the fragment.
+                        payload = reply.encode() if reply is not None else ""
+                except Exception as exc:
+                    # A handler crash is a reply, not a dead socket: the
+                    # client gets a structured error to act on instead
+                    # of a connection reset it cannot attribute.
+                    logger.exception(
+                        "site %r: handler failed on %s",
+                        self.server.agent.site_id, type(message).__name__)
+                    reply = ErrorMessage(
+                        message.message_id, code="handler-error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        retryable=False, sender=self.server.agent.site_id)
+                    payload = reply.encode()
+            try:
+                send_framed(self.request, payload)
+            except OSError:
+                # The client hung up while we worked; nothing to tell.
+                return
 
 
 class TcpSiteServer(socketserver.ThreadingTCPServer):
@@ -147,7 +180,8 @@ class TcpNetwork:
         self._idle = {}
         self._lock = threading.Lock()
         self._closed = False
-        self.pool_stats = {"connects": 0, "reuses": 0, "discarded": 0}
+        self.pool_stats = {"connects": 0, "reuses": 0, "discarded": 0,
+                           "send_failures": 0}
 
     def register_address(self, site_id, address):
         self.addresses[site_id] = address
@@ -230,7 +264,18 @@ class TcpNetwork:
         return reply
 
     def tell(self, src, dst, message):
-        self.request(src, dst, message)
+        """Fire-and-forget: a failed one-way send is counted, not raised.
+
+        Sensor updates and other notifications tolerate loss (the next
+        pull re-fetches fresh state), so a dead peer must not blow up
+        the sender's update path; ``pool_stats["send_failures"]``
+        records how many sends were lost.
+        """
+        try:
+            self.request(src, dst, message)
+        except (OSError, NetError):
+            with self._lock:
+                self.pool_stats["send_failures"] += 1
 
     def idle_connection_count(self):
         with self._lock:
@@ -256,13 +301,21 @@ class TcpCluster:
 
         with TcpCluster(document, plan) as tcp:
             results, site, _ = tcp.cluster.query(...)
+
+    ``network_wrapper`` (a callable ``TcpNetwork -> network``) wraps
+    the shared client-side transport before the agents are rewired onto
+    it -- e.g. ``lambda net: FaultyNetwork(net, seed=7, drop_rate=0.2)``
+    for chaos testing over real sockets.
     """
 
-    def __init__(self, global_document, plan, **cluster_kwargs):
+    def __init__(self, global_document, plan, network_wrapper=None,
+                 **cluster_kwargs):
         from repro.net.cluster import Cluster
 
         self.cluster = Cluster(global_document, plan, **cluster_kwargs)
-        self.network = TcpNetwork()
+        self.tcp_network = TcpNetwork()
+        self.network = (self.tcp_network if network_wrapper is None
+                        else network_wrapper(self.tcp_network))
         self.servers = {}
         for site, agent in self.cluster.agents.items():
             server = TcpSiteServer(agent).start()

@@ -12,7 +12,7 @@ experiments can report communication costs.
 
 import threading
 
-from repro.net.errors import UnknownSite
+from repro.net.errors import NetError, UnknownSite
 
 
 class TrafficLog:
@@ -65,6 +65,7 @@ class LoopbackNetwork:
         # Hook for failure-injection tests: callables(src, dst, message)
         # may raise or mutate to simulate loss/corruption.
         self.interceptors = []
+        self.tell_failures = 0
 
     def register(self, site_id, agent):
         self._agents[site_id] = agent
@@ -103,8 +104,15 @@ class LoopbackNetwork:
         return reply
 
     def tell(self, src, dst, message):
-        """Deliver *message*, ignoring any reply."""
-        self.request(src, dst, message)
+        """Deliver *message* one-way: failures are counted, not raised.
+
+        Mirrors :meth:`TcpNetwork.tell` -- a lost notification must not
+        blow up the sender, and the count keeps loss observable.
+        """
+        try:
+            self.request(src, dst, message)
+        except (OSError, NetError):
+            self.tell_failures += 1
 
     def close(self):
         """Release per-site delivery locks (repeated start/stop safe)."""

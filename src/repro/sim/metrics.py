@@ -34,6 +34,41 @@ def collect_engine_counters(databases):
     return totals
 
 
+def collect_fault_counters(agents):
+    """Aggregate the fault-handling counters across organizing agents.
+
+    Sums each OA's retry/failure/breaker/DNS-refresh stats and its
+    gather driver's degradation counters, and merges every per-peer
+    circuit-breaker snapshot into ``breakers`` (keyed
+    ``observing_site -> peer``), so experiments can report how much
+    fault machinery a run exercised.
+    """
+    if hasattr(agents, "values"):
+        agents = agents.values()
+    totals = {
+        "retries": 0,
+        "subquery_failures": 0,
+        "circuit_fast_fails": 0,
+        "dns_refreshes": 0,
+        "failed_subqueries": 0,
+        "partial_gathers": 0,
+        "stale_served": 0,
+    }
+    breakers = {}
+    for agent in agents:
+        for key in ("retries", "subquery_failures",
+                    "circuit_fast_fails", "dns_refreshes"):
+            totals[key] += agent.stats.get(key, 0)
+        driver_stats = getattr(agent.driver, "stats", {})
+        for key in ("failed_subqueries", "partial_gathers", "stale_served"):
+            totals[key] += driver_stats.get(key, 0)
+        snapshot = agent.health_snapshot()
+        if snapshot:
+            breakers[agent.site_id] = snapshot
+    totals["breakers"] = breakers
+    return totals
+
+
 class WorkloadMetrics:
     """Throughput and latency accounting over a measurement window."""
 

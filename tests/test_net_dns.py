@@ -54,7 +54,8 @@ class TestResolver:
         assert site == "site-1" and hops == resolver.miss_hops
         site, hops = resolver.resolve("pa.ne.parking.intel-iris.net")
         assert site == "site-1" and hops == 0
-        assert resolver.stats == {"hits": 1, "misses": 1, "evictions": 0}
+        assert resolver.stats == {"hits": 1, "misses": 1, "evictions": 0,
+                                  "invalidations": 0}
 
     def test_ttl_expiry_refetches(self, server, settable_clock):
         resolver = DnsResolver(server, clock=settable_clock, ttl=30)
