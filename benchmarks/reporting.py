@@ -1,0 +1,86 @@
+"""The shared ``BENCH_*.json`` result envelope.
+
+Every benchmark that archives numbers for CI writes the same shape::
+
+    {
+      "schema_version": 1,
+      "name": "<benchmark name>",
+      "timestamp": "<UTC ISO-8601>",
+      "params": { ...configuration the run used... },
+      "metrics": { ...what the run measured... }
+    }
+
+``params`` records everything needed to interpret (and re-run) the
+numbers -- sizes, rates, seeds, quick-mode -- and ``metrics`` holds the
+measurements themselves, so tooling can diff runs without knowing each
+benchmark's internals.  :func:`validate_report` /
+:func:`validate_file` are what the CI observability job runs over
+every emitted file.
+"""
+
+import json
+from datetime import datetime, timezone
+
+SCHEMA_VERSION = 1
+
+_REQUIRED = ("schema_version", "name", "timestamp", "params", "metrics")
+
+
+def build_report(name, params, metrics):
+    """Assemble one envelope dict (timestamped now, UTC)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": str(name),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "params": dict(params),
+        "metrics": metrics,
+    }
+
+
+def write_report(path, name, params, metrics):
+    """Write one enveloped report to *path*; returns the envelope."""
+    report = build_report(name, params, metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def validate_report(data):
+    """Check one envelope; returns a list of problems (empty = valid)."""
+    problems = []
+    if not isinstance(data, dict):
+        return [f"report is {type(data).__name__}, expected an object"]
+    for key in _REQUIRED:
+        if key not in data:
+            problems.append(f"missing required field {key!r}")
+    if "schema_version" in data and \
+            data["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data['schema_version']!r} != {SCHEMA_VERSION}")
+    if not isinstance(data.get("name", ""), str) or not data.get("name"):
+        problems.append("'name' must be a non-empty string")
+    timestamp = data.get("timestamp", "")
+    if not isinstance(timestamp, str):
+        problems.append("'timestamp' must be a string")
+    else:
+        try:
+            datetime.fromisoformat(timestamp)
+        except ValueError:
+            problems.append(f"'timestamp' {timestamp!r} is not ISO-8601")
+    if not isinstance(data.get("params", {}), dict):
+        problems.append("'params' must be an object")
+    if "metrics" in data and \
+            not isinstance(data["metrics"], (dict, list)):
+        problems.append("'metrics' must be an object or an array")
+    return problems
+
+
+def validate_file(path):
+    """Validate one ``BENCH_*.json``; returns a list of problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    return [f"{path}: {problem}" for problem in validate_report(data)]

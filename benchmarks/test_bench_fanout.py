@@ -9,7 +9,8 @@ parallel one pays roughly one.  The answers must be byte-identical,
 and the connection pool must serve the second query without dialing a
 single new socket.
 
-``REPRO_BENCH_QUICK=1`` shrinks the injected delay and skips
+Results are written to ``BENCH_fanout.json`` so CI can archive the
+numbers.  ``REPRO_BENCH_QUICK=1`` shrinks the injected delay and skips
 repetitions for CI smoke runs.
 """
 
@@ -17,6 +18,7 @@ import os
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.core import PartitionPlan
 from repro.net import OAConfig
 from repro.net.tcpruntime import TcpCluster
@@ -27,6 +29,7 @@ N_NODES = 16
 WAN_DELAY = 0.010 if QUICK else 0.030
 REPETITIONS = 1 if QUICK else 3
 QUERY = "/region[@id='R']/node"
+RESULTS_FILE = "BENCH_fanout.json"
 
 
 def _star_document():
@@ -107,6 +110,13 @@ def test_parallel_fanout_speedup(benchmark):
         ],
         note=f"answers identical: {outcome['identical']}; "
              f"pool reuses: {outcome['reuses']}",
+    )
+    write_report(
+        RESULTS_FILE, "fanout",
+        params={"nodes": N_NODES, "wan_delay_s": WAN_DELAY,
+                "repetitions": REPETITIONS, "query": QUERY,
+                "quick": QUICK},
+        metrics=outcome,
     )
 
     assert outcome["n_answers"] == N_NODES

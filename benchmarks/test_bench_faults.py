@@ -16,11 +16,11 @@ for smoke runs.  The fault schedule is seeded, so a given
 configuration replays the same drops every run.
 """
 
-import json
 import os
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.core import PartitionPlan
 from repro.net import (
     Cluster,
@@ -128,9 +128,13 @@ def test_availability_under_faults(benchmark):
         note="availability = fraction of queries answered complete; "
              "the rest returned partial answers, none raised",
     )
-    with open(RESULTS_FILE, "w", encoding="utf-8") as handle:
-        json.dump(points, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_report(
+        RESULTS_FILE, "faults",
+        params={"nodes": N_NODES, "queries": N_QUERIES, "seed": SEED,
+                "fault_rates": list(FAULT_RATES), "quick": QUICK,
+                "retry_policy": dict(RETRIES)},
+        metrics=points,
+    )
 
     clean, light, heavy = points
     # Fault-free: nothing retried, nothing dropped, everything answered.

@@ -12,12 +12,12 @@ archive the numbers.  ``REPRO_BENCH_QUICK=1`` shrinks the document and
 iteration counts for smoke runs.
 """
 
-import json
 import os
 import random
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.core import SensorDatabase
 from repro.xmlkit import Element, serialize
 
@@ -170,9 +170,13 @@ def test_index_lookup_speedup(benchmark):
              round(outcome["serialize_speedup"], 1)),
         ],
     )
-    with open(RESULTS_FILE, "w", encoding="utf-8") as handle:
-        json.dump(outcome, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_report(
+        RESULTS_FILE, "index_lookup",
+        params={"groups": GROUPS, "sensors": SENSORS, "lookups": LOOKUPS,
+                "updates": UPDATES,
+                "reserialize_rounds": RESERIALIZE_ROUNDS, "quick": QUICK},
+        metrics=outcome,
+    )
 
     assert outcome["index_stats"]["index_rebuilds"] <= 2
     assert outcome["find_speedup"] >= MIN_FIND_SPEEDUP

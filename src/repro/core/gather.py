@@ -40,6 +40,7 @@ from repro.core.qeg import (
     run_qeg,
 )
 from repro.core.status import get_status, strip_internal_attributes
+from repro.obs.tracing import TRACER, propagate
 from repro.xmlkit.nodes import Element, Text
 from repro.xpath.ast import FunctionCall, LocationPath
 from repro.xpath.evaluator import Evaluator
@@ -266,83 +267,97 @@ class GatherDriver:
     # ------------------------------------------------------------------
     def gather(self, query, now=None, nesting_strategy=None):
         """Gather everything *query* needs; returns a :class:`GatherOutcome`."""
-        pattern = self.compile(query)
-        if now is None:
-            now = self.database.clock()
-        if nesting_strategy is None:
-            nesting_strategy = self.nesting_strategy
-        view = self._view()
-        probe_results = {}
-        answered = []
-        answered_keys = set()
-        sent = []
-        failures = []
-        rounds = 0
-        max_fanout = 0
-        result = None
-        for rounds in range(1, self.MAX_ROUNDS + 1):
-            result = run_qeg(view, pattern, now=now,
-                             probe_results=probe_results,
-                             nesting_strategy=nesting_strategy,
-                             generalization=self.generalization)
-            # A subquery whose answer was already merged is resolved --
-            # and so is any narrower ask it subsumes: the remote's
-            # generalized answer is authoritative for everything its
-            # query could yield, so data still missing locally (e.g. ID
-            # stubs that failed the predicate remotely) simply does not
-            # match.
-            pending = [
-                sq for sq in result.subqueries
-                if (sq.query, sq.scalar) not in answered_keys
-                and not _subsumed_by(sq, answered, pattern)
-            ]
-            if not pending:
-                break
-            max_fanout = max(max_fanout, len(pending))
-            # Fan the round out (possibly in parallel / batched), then
-            # merge the replies back in emission order: the merged view
-            # -- and hence the final answer -- never depends on reply
-            # arrival order.
-            replies = self._dispatch_round(pending)
-            for subquery, reply in zip(pending, replies):
-                sent.append(subquery)
-                answered_keys.add((subquery.query, subquery.scalar))
-                if isinstance(reply, SubqueryFailure):
-                    # Terminal failure: record it, never re-ask (the
-                    # key above suppresses re-emission), and degrade.
-                    # Deliberately NOT appended to ``answered``: a
-                    # failed fetch is not authoritative for anything,
-                    # so it must not subsume narrower asks.
-                    self._note_failure(reply, subquery, view)
-                    failures.append(reply)
-                    if subquery.scalar:
-                        probe_results[subquery.query] = None
-                    continue
-                answered.append(subquery)
-                if subquery.scalar:
-                    probe_results[subquery.query] = reply
-                elif reply is not None:
-                    view.store_fragment(reply)
-        else:
-            raise GatherError(
-                f"gathering {pattern.source!r} did not converge within "
-                f"{self.MAX_ROUNDS} rounds"
-            )
-        with self._stats_lock:
-            self.stats["queries"] += 1
-            self.stats["rounds"] += rounds
-            self.stats["subqueries_sent"] += len(sent)
-            self.stats["max_fanout"] = max(self.stats["max_fanout"],
-                                           max_fanout)
-            if not sent:
-                self.stats["local_hits"] += 1
-            self.stats["failed_subqueries"] += len(failures)
-            self.stats["stale_served"] += sum(
-                1 for failure in failures if failure.stale_served)
-            if any(not failure.stale_served for failure in failures):
-                self.stats["partial_gathers"] += 1
-        return GatherOutcome(pattern, result.answer, rounds, sent, view,
-                             failures=failures)
+        site = self.database.site_id
+        with TRACER.span("gather", site=site) as gather_span:
+            with TRACER.span("parse", site=site):
+                pattern = self.compile(query)
+            gather_span.set_tag("query", pattern.source)
+            if now is None:
+                now = self.database.clock()
+            if nesting_strategy is None:
+                nesting_strategy = self.nesting_strategy
+            view = self._view()
+            probe_results = {}
+            answered = []
+            answered_keys = set()
+            sent = []
+            failures = []
+            rounds = 0
+            max_fanout = 0
+            result = None
+            for rounds in range(1, self.MAX_ROUNDS + 1):
+                with TRACER.span("qeg", site=site) as qeg_span:
+                    qeg_span.set_tag("round", rounds)
+                    result = run_qeg(view, pattern, now=now,
+                                     probe_results=probe_results,
+                                     nesting_strategy=nesting_strategy,
+                                     generalization=self.generalization)
+                # A subquery whose answer was already merged is resolved
+                # -- and so is any narrower ask it subsumes: the
+                # remote's generalized answer is authoritative for
+                # everything its query could yield, so data still
+                # missing locally (e.g. ID stubs that failed the
+                # predicate remotely) simply does not match.
+                pending = [
+                    sq for sq in result.subqueries
+                    if (sq.query, sq.scalar) not in answered_keys
+                    and not _subsumed_by(sq, answered, pattern)
+                ]
+                if not pending:
+                    break
+                max_fanout = max(max_fanout, len(pending))
+                # Fan the round out (possibly in parallel / batched),
+                # then merge the replies back in emission order: the
+                # merged view -- and hence the final answer -- never
+                # depends on reply arrival order.
+                with TRACER.span("subquery-dispatch", site=site) as dspan:
+                    dspan.set_tag("round", rounds)
+                    dspan.set_tag("fanout", len(pending))
+                    replies = self._dispatch_round(pending)
+                with TRACER.span("merge", site=site) as merge_span:
+                    merge_span.set_tag("round", rounds)
+                    for subquery, reply in zip(pending, replies):
+                        sent.append(subquery)
+                        answered_keys.add((subquery.query, subquery.scalar))
+                        if isinstance(reply, SubqueryFailure):
+                            # Terminal failure: record it, never re-ask
+                            # (the key above suppresses re-emission),
+                            # and degrade.  Deliberately NOT appended to
+                            # ``answered``: a failed fetch is not
+                            # authoritative for anything, so it must not
+                            # subsume narrower asks.
+                            self._note_failure(reply, subquery, view)
+                            failures.append(reply)
+                            if subquery.scalar:
+                                probe_results[subquery.query] = None
+                            continue
+                        answered.append(subquery)
+                        if subquery.scalar:
+                            probe_results[subquery.query] = reply
+                        elif reply is not None:
+                            view.store_fragment(reply)
+            else:
+                raise GatherError(
+                    f"gathering {pattern.source!r} did not converge within "
+                    f"{self.MAX_ROUNDS} rounds"
+                )
+            gather_span.set_tag("rounds", rounds)
+            gather_span.set_tag("subqueries", len(sent))
+            with self._stats_lock:
+                self.stats["queries"] += 1
+                self.stats["rounds"] += rounds
+                self.stats["subqueries_sent"] += len(sent)
+                self.stats["max_fanout"] = max(self.stats["max_fanout"],
+                                               max_fanout)
+                if not sent:
+                    self.stats["local_hits"] += 1
+                self.stats["failed_subqueries"] += len(failures)
+                self.stats["stale_served"] += sum(
+                    1 for failure in failures if failure.stale_served)
+                if any(not failure.stale_served for failure in failures):
+                    self.stats["partial_gathers"] += 1
+            return GatherOutcome(pattern, result.answer, rounds, sent, view,
+                                 failures=failures)
 
     def _note_failure(self, failure, subquery, view):
         """Classify a terminal failure: stale-servable or unreachable.
@@ -366,7 +381,10 @@ class GatherDriver:
             return [self.send(pending[0])]
         if self.send_many is not None:
             return self.send_many(pending)
-        return self.executor.map(self.send, pending)
+        # Executor threads do not inherit the caller's contextvars, so
+        # carry the active span across explicitly: without this, spans
+        # opened inside ``send`` would start fresh traces.
+        return self.executor.map(propagate(self.send), pending)
 
     # ------------------------------------------------------------------
     def answer_user_query(self, query, now=None):
@@ -444,8 +462,11 @@ class GatherDriver:
         """
         query_key = query if isinstance(query, str) else query.unparse()
         if max_age is not None or precision is not None:
-            cached = self.aggregates.lookup(query_key, max_age=max_age,
-                                            precision=precision)
+            with TRACER.span("cache-lookup",
+                             site=self.database.site_id) as lookup_span:
+                cached = self.aggregates.lookup(query_key, max_age=max_age,
+                                                precision=precision)
+                lookup_span.set_tag("hit", cached is not None)
             if cached is not None:
                 return cached.value
         ast = xpath_parser.parse(query) if isinstance(query, str) else query

@@ -352,7 +352,7 @@ _ASK = "ask"
 
 class _Walker:
     def __init__(self, db, pattern, now, probe_results, nesting_strategy,
-                 generalization=GENERALIZE_ANSWER):
+                 generalization=GENERALIZE_ANSWER, observer=None):
         self.db = db
         self.pattern = pattern
         self.items = pattern.items
@@ -362,6 +362,9 @@ class _Walker:
         self.aggressive = generalization == GENERALIZE_AGGRESSIVE
         self.builder = AnswerBuilder(db)
         self.subqueries = []
+        #: Optional decision observer (EXPLAIN): notified of every
+        #: emitted subquery and every IDable-node match verdict.
+        self.observer = observer
         self._seen_subqueries = set()
         self.stats = {
             "nodes_visited": 0,
@@ -377,6 +380,8 @@ class _Walker:
             self._seen_subqueries.add((subquery.query, subquery.scalar))
             self.subqueries.append(subquery)
             self.stats["asks"] += 1
+        if self.observer is not None:
+            self.observer.note_ask(subquery)
 
     def evaluate(self, predicates, node):
         try:
@@ -553,6 +558,15 @@ class _Walker:
 
     # ------------------------------------------------------------------
     def _match_item(self, node, j):
+        """Decide whether *node* satisfies item *j*, notifying the
+        EXPLAIN observer (if any) of the verdict on IDable nodes."""
+        outcome = self._match_item_inner(node, j)
+        if self.observer is not None and not isinstance(node, Text) \
+                and _locally_idable(node):
+            self.observer.note_decision(node, get_status(node), outcome, j)
+        return outcome
+
+    def _match_item_inner(self, node, j):
         """Decide whether *node* satisfies item *j* (the four status cases)."""
         item = self.items[j]
         if isinstance(node, Text):
@@ -771,16 +785,19 @@ def _locally_idable(element):
 
 def run_qeg(db, pattern, now=None, probe_results=None,
             nesting_strategy=FETCH_SUBTREE,
-            generalization=GENERALIZE_ANSWER):
+            generalization=GENERALIZE_ANSWER, observer=None):
     """Run one QEG pass of *pattern* over the site database *db*.
 
     *now* is the query's clock reading for consistency predicates;
     *probe_results* maps probe query strings to boolean answers
     gathered in earlier rounds (boolean-probe strategy only);
-    *generalization* picks how far subqueries over-fetch for the cache.
+    *generalization* picks how far subqueries over-fetch for the cache;
+    *observer* (see :class:`repro.obs.explain.ExplainObserver`)
+    receives every emitted subquery and per-IDable-node verdict --
+    the EXPLAIN hook, ``None`` (free) outside explain runs.
     """
     if isinstance(pattern, str):
         pattern = compile_pattern(pattern)
     walker = _Walker(db, pattern, now, probe_results, nesting_strategy,
-                     generalization=generalization)
+                     generalization=generalization, observer=observer)
     return walker.run()

@@ -146,6 +146,26 @@ class Cluster:
         return self.agents[at_site].driver.answer_scalar(
             query, now=now, max_age=max_age, precision=precision)
 
+    def explain(self, query, analyze=False, now=None):
+        """EXPLAIN *query* as the cluster would answer it.
+
+        Routes the query to its LCA site first (the client-side step
+        :meth:`query` performs), then builds that site's
+        :class:`~repro.obs.explain.ExplainReport` with the routed site
+        recorded on the report.
+        """
+        from repro.obs.explain import build_explain
+
+        site, _path = self.route_query(query)
+        return build_explain(self.agents[site], query, analyze=analyze,
+                             now=now, routed_site=site)
+
+    def metrics(self):
+        """Cluster-wide unified metrics snapshot (one nested dict)."""
+        from repro.obs.registry import cluster_metrics
+
+        return cluster_metrics(self)
+
     # ------------------------------------------------------------------
     # Sensing agents
     # ------------------------------------------------------------------

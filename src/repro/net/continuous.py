@@ -19,6 +19,7 @@ its view-based semantic caching future work.
 
 import itertools
 
+from repro.obs.tracing import TRACER
 from repro.xmlkit.compare import canonical_form
 from repro.xpath import parser as xpath_parser
 from repro.xpath.analysis import extract_id_path
@@ -27,10 +28,16 @@ _SEQUENCE = itertools.count(1)
 
 
 class Subscription:
-    """One registered continuous query."""
+    """One registered continuous query.
+
+    ``last_trace`` holds the trace context of the evaluation behind the
+    most recent notification (``None`` while tracing is off), so a
+    subscriber can pull the full distributed trace of the gather that
+    produced what it was just told.
+    """
 
     __slots__ = ("subscription_id", "query", "anchor_path", "callback",
-                 "last_digest", "notifications")
+                 "last_digest", "notifications", "last_trace")
 
     def __init__(self, query, anchor_path, callback):
         self.subscription_id = next(_SEQUENCE)
@@ -39,6 +46,7 @@ class Subscription:
         self.callback = callback
         self.last_digest = None
         self.notifications = 0
+        self.last_trace = None
 
     def covers(self, id_path):
         """Whether an update at *id_path* can affect this query.
@@ -95,13 +103,21 @@ class ContinuousQueryManager:
 
     def _evaluate(self, subscription):
         self.stats["evaluations"] += 1
-        results, _outcome = self.agent.driver.answer_user_query(
-            subscription.query)
-        digest = tuple(sorted(
-            canonical_form(r) for r in results if hasattr(r, "tag")
-        ))
-        if digest != subscription.last_digest:
-            subscription.last_digest = digest
-            subscription.notifications += 1
-            self.stats["notifications"] += 1
-            subscription.callback(results)
+        with TRACER.span(
+                "continuous-eval", site=self.agent.site_id,
+                tags={"query": subscription.query,
+                      "subscription": subscription.subscription_id},
+        ) as span:
+            results, _outcome = self.agent.driver.answer_user_query(
+                subscription.query)
+            digest = tuple(sorted(
+                canonical_form(r) for r in results if hasattr(r, "tag")
+            ))
+            if digest != subscription.last_digest:
+                subscription.last_digest = digest
+                subscription.notifications += 1
+                self.stats["notifications"] += 1
+                # The callback runs under the evaluation span: anything
+                # the subscriber traces links into the gather's trace.
+                subscription.last_trace = span.context
+                subscription.callback(results)

@@ -10,6 +10,7 @@ import itertools
 
 from repro.core.status import strip_internal_attributes
 from repro.net.errors import MessageError
+from repro.obs.tracing import TraceContext
 from repro.xmlkit.nodes import Element, Text
 from repro.xmlkit.parser import parse_fragment
 from repro.xmlkit.serializer import serialize
@@ -55,6 +56,14 @@ class Message:
     def __init__(self, sender=None, message_id=None):
         self.sender = sender
         self.message_id = message_id if message_id is not None else _next_id()
+        #: Optional distributed-tracing context
+        #: (:class:`~repro.obs.tracing.TraceContext`).  ``None`` -- the
+        #: default, and the only value while tracing is disabled --
+        #: adds nothing to the envelope, so untraced wire traffic is
+        #: byte-identical to pre-tracing builds.  Set it (via
+        #: :func:`repro.obs.tracing.attach_context`) before the first
+        #: ``encode()``, like every other field.
+        self.trace_ctx = None
         self._encoded = None
 
     # -- encoding -------------------------------------------------------
@@ -65,6 +74,8 @@ class Message:
         })
         if self.sender is not None:
             envelope.set("sender", str(self.sender))
+        if self.trace_ctx is not None:
+            envelope.set("trace", self.trace_ctx.encode())
         self._fill(envelope)
         return envelope
 
@@ -104,14 +115,26 @@ class Message:
         cls = _KINDS.get(kind)
         if cls is None:
             raise MessageError(f"unknown message kind {kind!r}")
-        return cls._parse(envelope)
+        message = cls._parse(envelope)
+        trace = envelope.get("trace")
+        if trace is not None:
+            message.trace_ctx = TraceContext.decode(trace)
+        return message
 
     @classmethod
     def _parse(cls, envelope):
         raise NotImplementedError
 
+    def _repr_size(self):
+        """``, size=N`` once the message has been encoded (never forces
+        an encode: repr must stay side-effect free)."""
+        if self._encoded is None:
+            return ""
+        return f", size={len(self._encoded)}"
+
     def __repr__(self):
-        return f"{type(self).__name__}(id={self.message_id})"
+        return (f"{type(self).__name__}(id={self.message_id}, "
+                f"kind={self.kind!r}{self._repr_size()})")
 
 
 class QueryMessage(Message):
@@ -153,6 +176,15 @@ class QueryMessage(Message):
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+    def __repr__(self):
+        flags = "".join((
+            " scalar" if self.scalar else "",
+            " user" if self.user else "",
+        ))
+        return (f"QueryMessage(id={self.message_id}, "
+                f"query={self.query!r},{flags} "
+                f"sender={self.sender!r}{self._repr_size()})")
 
 
 class AnswerMessage(Message):
@@ -230,6 +262,23 @@ class AnswerMessage(Message):
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+    def __repr__(self):
+        if self.results is not None:
+            payload = f"results={len(self.results)}"
+        elif self.fragment is not None:
+            payload = f"fragment=<{self.fragment.tag}>"
+        elif self.scalar is not None:
+            payload = f"scalar={self.scalar!r}"
+        else:
+            payload = "empty"
+        partial = ""
+        if self.completeness is not None and \
+                not self.completeness.get("complete", True):
+            partial = ", PARTIAL"
+        return (f"AnswerMessage(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, {payload}{partial}, "
+                f"sender={self.sender!r}{self._repr_size()})")
 
 
 def _encode_completeness(report):
@@ -331,6 +380,12 @@ class BatchQueryMessage(Message):
     def __len__(self):
         return len(self.items)
 
+    def __repr__(self):
+        preview = self.items[0][0] if self.items else ""
+        return (f"BatchQueryMessage(id={self.message_id}, "
+                f"items={len(self.items)}, first={preview!r}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
 
 class BatchAnswerMessage(Message):
     """Positional replies to a :class:`BatchQueryMessage`.
@@ -390,6 +445,12 @@ class BatchAnswerMessage(Message):
     def __len__(self):
         return len(self.answers)
 
+    def __repr__(self):
+        return (f"BatchAnswerMessage(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, "
+                f"answers={len(self.answers)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
 
 class ErrorMessage(Message):
     """A structured failure reply.
@@ -430,6 +491,12 @@ class ErrorMessage(Message):
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+    def __repr__(self):
+        retry = "retryable" if self.retryable else "terminal"
+        return (f"ErrorMessage(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, code={self.code!r}, "
+                f"{retry}, sender={self.sender!r}{self._repr_size()})")
 
 
 class UpdateMessage(Message):
@@ -473,6 +540,13 @@ class UpdateMessage(Message):
             message_id=int(envelope.get("id")),
         )
 
+    def __repr__(self):
+        target = "/".join(
+            f"{tag}={identifier}" for tag, identifier in self.id_path)
+        return (f"UpdateMessage(id={self.message_id}, target={target!r}, "
+                f"values={len(self.values)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
 
 class AckMessage(Message):
     """A generic acknowledgement."""
@@ -502,6 +576,12 @@ class AckMessage(Message):
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+    def __repr__(self):
+        status = "ok" if self.ok else f"refused {self.detail!r}"
+        return (f"AckMessage(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, {status}, "
+                f"sender={self.sender!r}{self._repr_size()})")
 
 
 class AdoptMessage(Message):
@@ -540,6 +620,11 @@ class AdoptMessage(Message):
             sender=envelope.get("sender"),
             message_id=int(envelope.get("id")),
         )
+
+    def __repr__(self):
+        return (f"AdoptMessage(id={self.message_id}, "
+                f"nodes={len(self.id_paths)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
 
 
 def clean_results(results):

@@ -41,6 +41,7 @@ from repro.net.retry import (
     Deadline,
     SiteHealthTracker,
 )
+from repro.obs.tracing import TRACER, attach_context, propagate
 
 
 _SERIAL = SerialExecutor()
@@ -228,7 +229,7 @@ class OrganizingAgent:
             executor = _SERIAL
         grouped = sorted(groups.items())
         for (_target, indices), group_replies in zip(
-                grouped, executor.map(ship, grouped)):
+                grouped, executor.map(propagate(ship), grouped)):
             for index, reply in zip(indices, group_replies):
                 replies[index] = reply
         return replies
@@ -332,48 +333,58 @@ class OrganizingAgent:
         return self._dispatch_with_retry(target, [subquery])[0]
 
     def _ship_single(self, target, subquery):
-        message = QueryMessage(subquery.query, now=self.clock(),
-                               scalar=subquery.scalar, sender=self.site_id)
-        reply = self.network.request(self.site_id, target, message)
-        if isinstance(reply, ErrorMessage):
-            raise RemoteError(reply.code, reply.detail,
-                              retryable=reply.retryable, site=target)
-        if not isinstance(reply, AnswerMessage):
-            raise NetError(
-                f"site {target!r} replied {type(reply).__name__} to a subquery"
-            )
-        if subquery.scalar:
-            return reply.scalar
-        return reply.fragment
+        with TRACER.span("send-subquery", site=self.site_id,
+                         tags={"target": target}) as span:
+            message = QueryMessage(subquery.query, now=self.clock(),
+                                   scalar=subquery.scalar,
+                                   sender=self.site_id)
+            attach_context(message, span)
+            reply = self.network.request(self.site_id, target, message)
+            if isinstance(reply, ErrorMessage):
+                raise RemoteError(reply.code, reply.detail,
+                                  retryable=reply.retryable, site=target)
+            if not isinstance(reply, AnswerMessage):
+                raise NetError(
+                    f"site {target!r} replied {type(reply).__name__} "
+                    "to a subquery"
+                )
+            if subquery.scalar:
+                return reply.scalar
+            return reply.fragment
 
     def _ship_batch(self, target, subqueries):
-        message = BatchQueryMessage(
-            [(subquery.query, subquery.scalar) for subquery in subqueries],
-            now=self.clock(), sender=self.site_id)
-        reply = self.network.request(self.site_id, target, message)
-        if isinstance(reply, ErrorMessage):
-            raise RemoteError(reply.code, reply.detail,
-                              retryable=reply.retryable, site=target)
-        if not isinstance(reply, BatchAnswerMessage):
-            raise NetError(
-                f"site {target!r} replied {type(reply).__name__} to a "
-                "batched subquery"
-            )
-        if len(reply) != len(subqueries):
-            raise NetError(
-                f"site {target!r} answered {len(reply)} of "
-                f"{len(subqueries)} batched subqueries"
-            )
-        out = []
-        for subquery, answer in zip(subqueries, reply.answers):
-            if isinstance(answer, tuple) and answer and \
-                    answer[0] == "scalar":
-                out.append(answer[1])
-            elif subquery.scalar:
-                out.append(None)
-            else:
-                out.append(answer)
-        return out
+        with TRACER.span("send-batch", site=self.site_id,
+                         tags={"target": target,
+                               "size": len(subqueries)}) as span:
+            message = BatchQueryMessage(
+                [(subquery.query, subquery.scalar)
+                 for subquery in subqueries],
+                now=self.clock(), sender=self.site_id)
+            attach_context(message, span)
+            reply = self.network.request(self.site_id, target, message)
+            if isinstance(reply, ErrorMessage):
+                raise RemoteError(reply.code, reply.detail,
+                                  retryable=reply.retryable, site=target)
+            if not isinstance(reply, BatchAnswerMessage):
+                raise NetError(
+                    f"site {target!r} replied {type(reply).__name__} to a "
+                    "batched subquery"
+                )
+            if len(reply) != len(subqueries):
+                raise NetError(
+                    f"site {target!r} answered {len(reply)} of "
+                    f"{len(subqueries)} batched subqueries"
+                )
+            out = []
+            for subquery, answer in zip(subqueries, reply.answers):
+                if isinstance(answer, tuple) and answer and \
+                        answer[0] == "scalar":
+                    out.append(answer[1])
+                elif subquery.scalar:
+                    out.append(None)
+                else:
+                    out.append(answer)
+            return out
 
     # ------------------------------------------------------------------
     # Serving queries
@@ -385,11 +396,29 @@ class OrganizingAgent:
         attributes) detached elements.
         """
         self.stats["user_queries"] += 1
-        results, outcome = self.driver.answer_user_query(query, now=now)
+        with TRACER.span("user-query", site=self.site_id,
+                         tags={"query": str(query)}):
+            results, outcome = self.driver.answer_user_query(query, now=now)
         return results, outcome
 
     def handle_message(self, message):
-        """Dispatch one incoming message; returns the reply message."""
+        """Dispatch one incoming message; returns the reply message.
+
+        Opens a ``handle-*`` span parented on the message's wire trace
+        context (when present), so spans at the serving site link into
+        the asking site's trace; the reply carries this span's context
+        back for the sender's bookkeeping.
+        """
+        kind = type(message).__name__
+        remote = getattr(message, "trace_ctx", None)
+        with TRACER.span(f"handle-{kind}", site=self.site_id,
+                         remote_parent=remote) as span:
+            reply = self._dispatch_message(message)
+            if reply is not None and reply.trace_ctx is None:
+                attach_context(reply, span)
+            return reply
+
+    def _dispatch_message(self, message):
         if isinstance(message, QueryMessage):
             return self._handle_query(message)
         if isinstance(message, BatchQueryMessage):
@@ -591,6 +620,24 @@ class OrganizingAgent:
         if self.health is None:
             return {}
         return self.health.snapshot()
+
+    def explain(self, query, analyze=False, now=None):
+        """EXPLAIN *query* from this site's current cache state.
+
+        Returns an :class:`~repro.obs.explain.ExplainReport`: the
+        per-node QEG decisions and the subquery plan the gather driver
+        would dispatch in its first round.  With *analyze* the gather
+        actually runs and the dispatched subqueries are appended.
+        """
+        from repro.obs.explain import build_explain
+
+        return build_explain(self, query, analyze=analyze, now=now)
+
+    def metrics(self):
+        """This site's unified metrics snapshot (one nested dict)."""
+        from repro.obs.registry import site_metrics
+
+        return site_metrics(self)
 
     def __repr__(self):
         return (

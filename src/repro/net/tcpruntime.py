@@ -22,6 +22,7 @@ import threading
 from repro.net.errors import NetError, UnknownSite
 from repro.net.messages import ErrorMessage, Message
 from repro.net.transport import TrafficLog
+from repro.obs.tracing import TRACER, attach_context
 
 logger = logging.getLogger(__name__)
 
@@ -88,27 +89,40 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                     retryable=False, sender=self.server.agent.site_id)
                 payload = reply.encode()
             else:
-                try:
-                    with self.server.agent_lock:
-                        reply = self.server.agent.handle_message(message)
-                        # Encoding stays under the lock: serializing the
-                        # reply touches shared site state (the
-                        # serialization-memo write-back into database
-                        # elements), so it must not race with another
-                        # handler mutating the fragment.
-                        payload = reply.encode() if reply is not None else ""
-                except Exception as exc:
-                    # A handler crash is a reply, not a dead socket: the
-                    # client gets a structured error to act on instead
-                    # of a connection reset it cannot attribute.
-                    logger.exception(
-                        "site %r: handler failed on %s",
-                        self.server.agent.site_id, type(message).__name__)
-                    reply = ErrorMessage(
-                        message.message_id, code="handler-error",
-                        detail=f"{type(exc).__name__}: {exc}",
-                        retryable=False, sender=self.server.agent.site_id)
-                    payload = reply.encode()
+                # The socket thread has no ambient span: parent the
+                # serve span on the wire trace context (if any) so the
+                # remote site's spans join the asking site's trace.
+                with TRACER.span(
+                        "tcp-serve",
+                        site=getattr(self.server.agent, "site_id", None),
+                        remote_parent=message.trace_ctx) as serve_span:
+                    try:
+                        with self.server.agent_lock:
+                            reply = self.server.agent.handle_message(
+                                message)
+                            # Encoding stays under the lock: serializing
+                            # the reply touches shared site state (the
+                            # serialization-memo write-back into database
+                            # elements), so it must not race with another
+                            # handler mutating the fragment.
+                            payload = (reply.encode()
+                                       if reply is not None else "")
+                    except Exception as exc:
+                        # A handler crash is a reply, not a dead socket:
+                        # the client gets a structured error to act on
+                        # instead of a connection reset it cannot
+                        # attribute.
+                        logger.exception(
+                            "site %r: handler failed on %s",
+                            self.server.agent.site_id,
+                            type(message).__name__)
+                        reply = ErrorMessage(
+                            message.message_id, code="handler-error",
+                            detail=f"{type(exc).__name__}: {exc}",
+                            retryable=False,
+                            sender=self.server.agent.site_id)
+                        attach_context(reply, serve_span)
+                        payload = reply.encode()
             try:
                 send_framed(self.request, payload)
             except OSError:

@@ -1,0 +1,344 @@
+"""Unified metrics: counter/gauge/histogram primitives + collectors.
+
+The repo grew three ad-hoc metric surfaces -- the per-database
+``stats`` dicts, the simulator's ``collect_engine_counters`` /
+``collect_fault_counters`` aggregations, and the DNS/connection-pool
+stats dicts.  This module puts one registry in front of all of them:
+
+* **Primitives** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) for new instrumentation, thread-safe and
+  snapshot-able;
+* **Collectors**: zero-argument callables returning plain dicts, which
+  is exactly what every existing ``stats`` surface already is -- so the
+  legacy dicts keep working untouched and the registry absorbs them at
+  snapshot time;
+* **Aggregation helpers** (:func:`engine_counters`,
+  :func:`fault_counters`, :func:`site_metrics`,
+  :func:`cluster_metrics`): the canonical implementations behind the
+  back-compat aliases in :mod:`repro.sim.metrics` and the new
+  ``OrganizingAgent.metrics()`` / ``Cluster.metrics()`` surfaces.
+"""
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A value that goes up and down (pool sizes, open circuits, ...)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def set(self, value):
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount=1):
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount=1):
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self):
+        return self._value
+
+    def snapshot(self):
+        return self._value
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Summary statistics over observed values (latencies, sizes).
+
+    Keeps count/sum/min/max exactly plus a bounded reservoir of the
+    most recent observations for approximate percentiles -- enough for
+    the paper-style latency reporting without unbounded memory.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_recent", "_limit", "_lock")
+
+    def __init__(self, name, keep_recent=1024):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+        self._recent = []
+        self._limit = keep_recent
+        self._lock = threading.Lock()
+
+    def observe(self, value):
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+            self._recent.append(value)
+            if len(self._recent) > self._limit:
+                del self._recent[: len(self._recent) - self._limit]
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction):
+        """Approximate percentile over the recent reservoir."""
+        with self._lock:
+            sample = sorted(self._recent)
+        if not sample:
+            return 0.0
+        index = min(len(sample) - 1, int(fraction * len(sample)))
+        return sample[index]
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.minimum,
+                "max": self.maximum,
+                "mean": self.total / self.count if self.count else 0.0,
+                "p95": self._percentile_locked(0.95),
+            }
+
+    def _percentile_locked(self, fraction):
+        sample = sorted(self._recent)
+        if not sample:
+            return 0.0
+        index = min(len(sample) - 1, int(fraction * len(sample)))
+        return sample[index]
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named primitives plus pluggable collectors, one snapshot call.
+
+    ``snapshot()`` returns a plain nested dict: every registered
+    primitive under its name, and every collector's dict under the
+    collector's name.  Collector failures are reported in-band (an
+    ``{"error": ...}`` entry) instead of breaking the whole snapshot.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._metrics = {}
+        self._collectors = {}
+
+    # -- primitives -----------------------------------------------------
+    def _get_or_make(self, name, factory, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}")
+            return metric
+
+    def counter(self, name):
+        return self._get_or_make(name, Counter, Counter)
+
+    def gauge(self, name):
+        return self._get_or_make(name, Gauge, Gauge)
+
+    def histogram(self, name):
+        return self._get_or_make(name, Histogram, Histogram)
+
+    # -- collectors -----------------------------------------------------
+    def register_collector(self, name, collect):
+        """Absorb an existing stats surface: *collect()* -> dict."""
+        with self._lock:
+            self._collectors[name] = collect
+
+    def snapshot(self):
+        with self._lock:
+            metrics = dict(self._metrics)
+            collectors = dict(self._collectors)
+        out = {}
+        for name, metric in sorted(metrics.items()):
+            out[name] = metric.snapshot()
+        for name, collect in sorted(collectors.items()):
+            try:
+                out[name] = collect()
+            except Exception as exc:  # pragma: no cover - defensive
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def __repr__(self):
+        return (f"MetricsRegistry({self.name!r}, "
+                f"metrics={len(self._metrics)}, "
+                f"collectors={len(self._collectors)})")
+
+
+# ----------------------------------------------------------------------
+# Canonical aggregations (the back-compat aliases in repro.sim.metrics
+# delegate here).
+# ----------------------------------------------------------------------
+def engine_counters(databases):
+    """Aggregate hot-path engine counters across site databases.
+
+    Sums the id-path index hit/miss/rebuild counters of every
+    :class:`~repro.core.database.SensorDatabase` in *databases* (a
+    mapping of site -> database or an iterable of databases) and
+    snapshots the process-wide serialization reuse counters.
+    """
+    from repro.xmlkit.serializer import serialization_stats
+
+    if hasattr(databases, "values"):
+        databases = databases.values()
+    totals = {"index_hits": 0, "index_misses": 0, "index_rebuilds": 0}
+    for database in databases:
+        for key in totals:
+            totals[key] += database.stats.get(key, 0)
+    serialization = serialization_stats()
+    reused = serialization["cache_hits"]
+    rebuilt = serialization["cache_misses"]
+    totals["serialization_reused"] = reused
+    totals["serialization_rebuilt"] = rebuilt
+    total_lookups = totals["index_hits"] + totals["index_misses"]
+    totals["index_hit_ratio"] = (
+        round(totals["index_hits"] / total_lookups, 3)
+        if total_lookups else 0.0
+    )
+    totals["serialization_reuse_ratio"] = (
+        round(reused / (reused + rebuilt), 3) if reused + rebuilt else 0.0
+    )
+    return totals
+
+
+def fault_counters(agents):
+    """Aggregate the fault-handling counters across organizing agents.
+
+    Sums each OA's retry/failure/breaker/DNS-refresh stats and its
+    gather driver's degradation counters, and merges every per-peer
+    circuit-breaker snapshot into ``breakers`` (keyed
+    ``observing_site -> peer``).
+    """
+    if hasattr(agents, "values"):
+        agents = agents.values()
+    totals = {
+        "retries": 0,
+        "subquery_failures": 0,
+        "circuit_fast_fails": 0,
+        "dns_refreshes": 0,
+        "failed_subqueries": 0,
+        "partial_gathers": 0,
+        "stale_served": 0,
+    }
+    breakers = {}
+    for agent in agents:
+        for key in ("retries", "subquery_failures",
+                    "circuit_fast_fails", "dns_refreshes"):
+            totals[key] += agent.stats.get(key, 0)
+        driver_stats = getattr(agent.driver, "stats", {})
+        for key in ("failed_subqueries", "partial_gathers", "stale_served"):
+            totals[key] += driver_stats.get(key, 0)
+        snapshot = agent.health_snapshot()
+        if snapshot:
+            breakers[agent.site_id] = snapshot
+    totals["breakers"] = breakers
+    return totals
+
+
+def build_site_registry(agent):
+    """A registry absorbing one organizing agent's metric surfaces.
+
+    Everything the OA already counts keeps its dict shape (the
+    collectors snapshot the live dicts), so legacy readers and the
+    unified snapshot always agree.
+    """
+    registry = MetricsRegistry(name=f"site:{agent.site_id}")
+    registry.register_collector("oa", lambda: dict(agent.stats))
+    registry.register_collector("gather",
+                                lambda: dict(agent.driver.stats))
+    registry.register_collector("database",
+                                lambda: dict(agent.database.stats))
+    registry.register_collector("dns_cache",
+                                lambda: dict(agent.resolver.stats))
+    registry.register_collector("continuous",
+                                lambda: dict(agent.continuous.stats))
+    registry.register_collector("engine", agent.engine_counters)
+    registry.register_collector("breakers", agent.health_snapshot)
+    return registry
+
+
+def build_cluster_registry(cluster):
+    """A registry absorbing a whole cluster's metric surfaces."""
+    registry = MetricsRegistry(name="cluster")
+    registry.register_collector("cluster", lambda: dict(cluster.stats))
+    registry.register_collector("dns_server",
+                                lambda: dict(cluster.dns.stats))
+    # The network may be wrapped (e.g. a FaultyNetwork around the
+    # loopback): only absorb the surfaces the wrapper exposes.
+    traffic = getattr(cluster.network, "traffic", None)
+    if traffic is not None:
+        registry.register_collector("traffic", traffic.summary)
+    pool_stats = getattr(cluster.network, "pool_stats", None)
+    if pool_stats is not None:
+        registry.register_collector("pool", lambda: dict(pool_stats))
+    registry.register_collector(
+        "engine",
+        lambda: engine_counters(
+            {site: a.database for site, a in cluster.agents.items()}),
+    )
+    registry.register_collector(
+        "faults", lambda: fault_counters(cluster.agents))
+
+    def per_site():
+        return {site: site_metrics(agent)
+                for site, agent in sorted(cluster.agents.items())}
+
+    registry.register_collector("sites", per_site)
+    return registry
+
+
+def site_metrics(agent):
+    """One OA's unified snapshot (used by ``OrganizingAgent.metrics``)."""
+    return build_site_registry(agent).snapshot()
+
+
+def cluster_metrics(cluster):
+    """Cluster-wide unified snapshot (used by ``Cluster.metrics``)."""
+    return build_cluster_registry(cluster).snapshot()

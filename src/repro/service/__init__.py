@@ -20,7 +20,7 @@ from repro.service.parking import (
     type3_query,
     type4_query,
 )
-from repro.service.workload import QueryWorkload, UpdateWorkload
+from repro.service.workload import QueryWorkload, UpdateWorkload, run_live
 
 __all__ = [
     "ParkingConfig",
@@ -36,6 +36,7 @@ __all__ = [
     "type4_query",
     "QueryWorkload",
     "UpdateWorkload",
+    "run_live",
     "CoastalConfig",
     "build_coastal_document",
     "station_path",

@@ -8,6 +8,7 @@ queries targeting a single neighborhood.
 """
 
 import random
+import time
 
 from repro.service import parking
 
@@ -110,6 +111,46 @@ class QueryWorkload:
     def take(self, count):
         """A list of *count* (query, type) samples."""
         return [self.sample() for _ in range(count)]
+
+
+def run_live(cluster, workload, count, now=None, clock=time.monotonic):
+    """Drive *count* workload queries against a **live** cluster.
+
+    The simulator produces the paper's throughput/latency numbers by
+    replaying traces offline; this is the online counterpart -- it
+    poses real queries, times each one on the wall clock, and returns
+    ``(metrics, report)`` where *metrics* is a
+    :class:`repro.sim.metrics.WorkloadMetrics` (same summary shape as
+    the simulated runs) and *report* is the cluster-wide snapshot from
+    :func:`repro.obs.registry.cluster_metrics` taken at the end.
+
+    With tracing enabled each query's trace id is appended to
+    ``report["traces"]`` so individual executions can be pulled out of
+    the tracer afterwards.
+    """
+    from repro.obs.registry import cluster_metrics
+    from repro.obs.tracing import TRACER
+    from repro.sim.metrics import WorkloadMetrics
+
+    metrics = WorkloadMetrics()
+    metrics.begin_window(clock())
+    traces = []
+    for _ in range(count):
+        query, query_type = workload.sample()
+        started = clock()
+        with TRACER.span("workload-query", tags={"type": query_type}) \
+                as span:
+            cluster.query(query, now=now)
+        finished = clock()
+        metrics.record(finished, finished - started, query_type=query_type)
+        if span.context is not None:
+            traces.append(span.context.trace_id)
+    metrics.close_window(clock())
+    report = cluster_metrics(cluster)
+    report["workload"] = metrics.summary()
+    if traces:
+        report["traces"] = traces
+    return metrics, report
 
 
 class UpdateWorkload:

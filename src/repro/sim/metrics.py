@@ -1,72 +1,30 @@
-"""Metrics collection for simulated experiments."""
+"""Metrics collection for simulated experiments.
+
+The aggregation helpers that started here moved to the unified
+registry in :mod:`repro.obs.registry`; ``collect_engine_counters`` and
+``collect_fault_counters`` remain as back-compat aliases with their
+original names and output shapes.
+"""
+
+from repro.obs.registry import engine_counters, fault_counters
 
 
 def collect_engine_counters(databases):
     """Aggregate hot-path engine counters across site databases.
 
-    Sums the id-path index hit/miss/rebuild counters of every
-    :class:`~repro.core.database.SensorDatabase` in *databases* (a
-    mapping of site -> database or an iterable of databases) and
-    snapshots the process-wide serialization reuse counters, so
-    experiments can report how much of the engine work was served from
-    the caches.
+    Back-compat alias for :func:`repro.obs.registry.engine_counters`
+    (same input conventions, same output shape).
     """
-    from repro.xmlkit.serializer import serialization_stats
-
-    if hasattr(databases, "values"):
-        databases = databases.values()
-    totals = {"index_hits": 0, "index_misses": 0, "index_rebuilds": 0}
-    for database in databases:
-        for key in totals:
-            totals[key] += database.stats.get(key, 0)
-    serialization = serialization_stats()
-    reused = serialization["cache_hits"]
-    rebuilt = serialization["cache_misses"]
-    totals["serialization_reused"] = reused
-    totals["serialization_rebuilt"] = rebuilt
-    total_lookups = totals["index_hits"] + totals["index_misses"]
-    totals["index_hit_ratio"] = (
-        round(totals["index_hits"] / total_lookups, 3) if total_lookups else 0.0
-    )
-    totals["serialization_reuse_ratio"] = (
-        round(reused / (reused + rebuilt), 3) if reused + rebuilt else 0.0
-    )
-    return totals
+    return engine_counters(databases)
 
 
 def collect_fault_counters(agents):
     """Aggregate the fault-handling counters across organizing agents.
 
-    Sums each OA's retry/failure/breaker/DNS-refresh stats and its
-    gather driver's degradation counters, and merges every per-peer
-    circuit-breaker snapshot into ``breakers`` (keyed
-    ``observing_site -> peer``), so experiments can report how much
-    fault machinery a run exercised.
+    Back-compat alias for :func:`repro.obs.registry.fault_counters`
+    (same input conventions, same output shape).
     """
-    if hasattr(agents, "values"):
-        agents = agents.values()
-    totals = {
-        "retries": 0,
-        "subquery_failures": 0,
-        "circuit_fast_fails": 0,
-        "dns_refreshes": 0,
-        "failed_subqueries": 0,
-        "partial_gathers": 0,
-        "stale_served": 0,
-    }
-    breakers = {}
-    for agent in agents:
-        for key in ("retries", "subquery_failures",
-                    "circuit_fast_fails", "dns_refreshes"):
-            totals[key] += agent.stats.get(key, 0)
-        driver_stats = getattr(agent.driver, "stats", {})
-        for key in ("failed_subqueries", "partial_gathers", "stale_served"):
-            totals[key] += driver_stats.get(key, 0)
-        snapshot = agent.health_snapshot()
-        if snapshot:
-            breakers[agent.site_id] = snapshot
-    totals["breakers"] = breakers
-    return totals
+    return fault_counters(agents)
 
 
 class WorkloadMetrics:

@@ -1,0 +1,117 @@
+"""Continuous queries: firing semantics and trace context."""
+
+import pytest
+
+from repro.net import UpdateMessage
+from repro.obs.tracing import (
+    TRACER,
+    TraceContext,
+    disable_tracing,
+    enable_tracing,
+)
+
+from tests.conftest import OAKLAND, SHADYSIDE
+
+OAK_QUERY = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+             "/city[@id='Pittsburgh']/neighborhood[@id='Oakland']"
+             "/block[@id='1']/parkingSpace[available='yes']")
+
+OAK_SPACE_1 = OAKLAND + (("block", "1"), ("parkingSpace", "1"))
+SHADY_SPACE_1 = SHADYSIDE + (("block", "1"), ("parkingSpace", "1"))
+
+
+def _update(cluster, space, **values):
+    reply = cluster.network.request(
+        "sa-test", cluster.owner_map[space],
+        UpdateMessage(space, values=values, sender="sa-test"))
+    assert reply.ok
+
+
+class TestContinuousQueries:
+    def test_fires_on_matching_update(self, paper_cluster):
+        fired = []
+        site, sub_id = paper_cluster.subscribe(
+            OAK_QUERY, fired.append, fire_immediately=True)
+        assert site == "oak"
+        assert len(fired) == 1  # the initial answer
+        assert {r.id for r in fired[0]} == {"1"}
+        # Space 1 becomes unavailable: the answer changes, so it fires.
+        _update(paper_cluster, OAK_SPACE_1, available="no")
+        assert len(fired) == 2
+        assert fired[1] == []
+        manager = paper_cluster.agents[site].continuous
+        assert manager.stats["notifications"] == 2
+
+    def test_no_fire_on_non_matching_update(self, paper_cluster):
+        fired = []
+        site, _sub = paper_cluster.subscribe(
+            OAK_QUERY, fired.append, fire_immediately=False)
+        # An update in Shadyside is outside the query's region: the
+        # subscription is not even re-evaluated at `oak`.
+        _update(paper_cluster, SHADY_SPACE_1, available="no")
+        assert fired == []
+        assert paper_cluster.agents[site].continuous.stats[
+            "evaluations"] == 0
+
+    def test_no_fire_when_answer_unchanged(self, paper_cluster):
+        fired = []
+        site, _sub = paper_cluster.subscribe(
+            OAK_QUERY, fired.append, fire_immediately=True)
+        assert len(fired) == 1  # the digest-establishing initial answer
+        # The update touches the region but leaves the answer as-is:
+        # re-evaluated, digest unchanged, no new notification.
+        _update(paper_cluster, OAK_SPACE_1, available="yes")
+        manager = paper_cluster.agents[site].continuous
+        assert manager.stats["evaluations"] == 2
+        assert len(fired) == 1
+
+    def test_unsubscribe_stops_delivery(self, paper_cluster):
+        fired = []
+        site, sub_id = paper_cluster.subscribe(
+            OAK_QUERY, fired.append, fire_immediately=False)
+        paper_cluster.unsubscribe(site, sub_id)
+        _update(paper_cluster, OAK_SPACE_1, available="no")
+        assert fired == []
+        assert len(paper_cluster.agents[site].continuous) == 0
+
+    def test_unknown_unsubscribe_is_noop(self, paper_cluster):
+        paper_cluster.unsubscribe("oak", 99999)
+
+
+class TestNotificationTraceContext:
+    @pytest.fixture
+    def tracing(self):
+        TRACER.reset()
+        enable_tracing()
+        yield TRACER
+        disable_tracing()
+        TRACER.reset()
+
+    def test_notification_carries_trace_context(self, paper_cluster,
+                                                tracing):
+        seen = []
+
+        def callback(_results):
+            # The callback runs under the evaluation span, so anything
+            # it does joins the gather's trace.
+            seen.append(tracing.current_trace_id())
+
+        site, sub_id = paper_cluster.subscribe(
+            OAK_QUERY, callback, fire_immediately=True)
+        subscription = paper_cluster.agents[site].continuous \
+            ._subscriptions[sub_id]
+        assert isinstance(subscription.last_trace, TraceContext)
+        assert seen == [subscription.last_trace.trace_id]
+        spans = tracing.spans(subscription.last_trace.trace_id)
+        assert "continuous-eval" in {span.name for span in spans}
+        first_trace = subscription.last_trace
+        _update(paper_cluster, OAK_SPACE_1, available="no")
+        # A new evaluation, a new trace context on the subscription.
+        assert subscription.last_trace != first_trace
+
+    def test_no_trace_context_while_disabled(self, paper_cluster):
+        site, sub_id = paper_cluster.subscribe(
+            OAK_QUERY, lambda results: None, fire_immediately=True)
+        subscription = paper_cluster.agents[site].continuous \
+            ._subscriptions[sub_id]
+        assert subscription.last_trace is None

@@ -150,6 +150,50 @@ class TestWorkloads:
         assert values["available"] in ("yes", "no")
 
 
+class TestLiveWorkloadRun:
+    def _cluster(self):
+        from repro.arch import distributed_two_level
+        from repro.net import Cluster
+
+        config = ParkingConfig.tiny()
+        arch = distributed_two_level(config)
+        return config, Cluster(build_parking_document(config), arch.plan)
+
+    def test_run_live_measures_and_snapshots(self):
+        from repro.service import run_live
+
+        config, cluster = self._cluster()
+        workload = QueryWorkload.qw(config, 1, seed=11)
+        metrics, report = run_live(cluster, workload, count=5, now=0.0)
+        assert metrics.completed == 5
+        assert metrics.completed_by_type == {1: 5}
+        assert len(metrics.latencies) == 5
+        assert report["workload"]["completed"] == 5
+        assert cluster.stats["client_queries"] == 5
+        assert set(report["sites"]) == set(cluster.agents)
+
+    def test_run_live_collects_trace_ids_when_enabled(self):
+        from repro.obs.tracing import TRACER, disable_tracing, \
+            enable_tracing
+        from repro.service import run_live
+
+        config, cluster = self._cluster()
+        workload = QueryWorkload.qw(config, 1, seed=12)
+        TRACER.reset()
+        enable_tracing()
+        try:
+            _metrics, report = run_live(cluster, workload, count=3,
+                                        now=0.0)
+            assert len(report["traces"]) == 3
+            for trace_id in report["traces"]:
+                names = {s.name for s in TRACER.spans(trace_id)}
+                assert "workload-query" in names
+                assert "gather" in names
+        finally:
+            disable_tracing()
+            TRACER.reset()
+
+
 class TestArchitectures:
     CONFIG = ParkingConfig.paper_small()
 
