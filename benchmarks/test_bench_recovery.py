@@ -1,0 +1,135 @@
+"""Recovery time vs. log length and checkpoint interval.
+
+One site owns a flat region of nodes and absorbs a stream of sensor
+updates through a :class:`~repro.durability.DurabilityManager`; the
+process is then killed (``abort()``) and recovery is timed cold: open
+the WAL (torn-tail scan), load the newest checkpoint, replay the tail.
+
+The grid crosses the number of journalled updates with the checkpoint
+interval, quantifying the durability subsystem's central trade-off:
+frequent checkpoints buy short replays at the cost of more snapshot
+writes on the hot path; rare checkpoints make writes cheap and
+recovery long.  Results go to ``BENCH_recovery.json``;
+``REPRO_BENCH_QUICK=1`` shrinks the grid for smoke runs.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+
+from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
+from repro.core.database import SensorDatabase
+from repro.core.status import Status, set_status
+from repro.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    partition_fingerprint,
+)
+from repro.xmlkit import Element
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+N_NODES = 32 if QUICK else 128
+UPDATE_COUNTS = (200, 800) if QUICK else (500, 2000, 8000)
+CHECKPOINT_INTERVALS = (0, 100, 1000) if QUICK else (0, 100, 1000, 5000)
+RESULTS_FILE = "BENCH_recovery.json"
+
+
+def _build_database():
+    root = Element("region", attrib={"id": "R"})
+    set_status(root, Status.OWNED)
+    for index in range(N_NODES):
+        node = Element("node", attrib={"id": f"n{index:04d}"})
+        set_status(node, Status.OWNED)
+        node.append(Element("value", text="0"))
+        root.append(node)
+    return SensorDatabase(root, clock=lambda: 1000.0, site_id="s0")
+
+
+def _run_point(n_updates, checkpoint_interval):
+    directory = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        config = DurabilityConfig(directory=directory, sync_every=0,
+                                  checkpoint_interval=checkpoint_interval)
+        manager = DurabilityManager(config, "s0", clock=lambda: 1000.0)
+        database = _build_database()
+        manager.attach(database)
+
+        started = time.perf_counter()
+        for index in range(n_updates):
+            path = ((("region", "R"),
+                     ("node", f"n{index % N_NODES:04d}")))
+            database.apply_update(path, values={"value": str(index)})
+        journal_seconds = time.perf_counter() - started
+        live = partition_fingerprint(database)
+        wal_bytes = manager._wal.size_bytes()
+        checkpoints = manager.stats["checkpoints_written"]
+        manager.abort()  # the kill
+
+        started = time.perf_counter()
+        reborn = DurabilityManager(config, "s0", clock=lambda: 1000.0)
+        recovered = reborn.recover()
+        recovery_seconds = time.perf_counter() - started
+        assert partition_fingerprint(recovered) == live
+        replayed = reborn.stats["last_recovery_replayed"]
+        reborn.close()
+        return {
+            "n_updates": n_updates,
+            "checkpoint_interval": checkpoint_interval,
+            "journal_seconds": journal_seconds,
+            "recovery_seconds": recovery_seconds,
+            "records_replayed": replayed,
+            "wal_bytes_at_kill": wal_bytes,
+            "checkpoints_written": checkpoints,
+            "updates_per_second": (n_updates / journal_seconds
+                                   if journal_seconds else 0.0),
+        }
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _run():
+    return [
+        _run_point(n_updates, interval)
+        for n_updates in UPDATE_COUNTS
+        for interval in CHECKPOINT_INTERVALS
+    ]
+
+
+def test_recovery_time_vs_log_length(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_table(
+        f"Recovery time over {N_NODES}-node region "
+        f"(byte-identical recovery asserted per point)",
+        ["updates", "ckpt every", "journal s", "recover ms",
+         "replayed", "wal KiB"],
+        [
+            (point["n_updates"],
+             point["checkpoint_interval"] or "never",
+             round(point["journal_seconds"], 3),
+             round(point["recovery_seconds"] * 1000, 2),
+             point["records_replayed"],
+             round(point["wal_bytes_at_kill"] / 1024, 1))
+            for point in points
+        ],
+        note="recover = WAL scan + checkpoint load + replay, timed "
+             "cold; every point verified byte-identical to the "
+             "pre-kill partition",
+    )
+    write_report(
+        RESULTS_FILE, "recovery",
+        params={"nodes": N_NODES, "update_counts": list(UPDATE_COUNTS),
+                "checkpoint_intervals": list(CHECKPOINT_INTERVALS),
+                "quick": QUICK},
+        metrics=points,
+    )
+
+    by_key = {(p["n_updates"], p["checkpoint_interval"]): p
+              for p in points}
+    for n_updates in UPDATE_COUNTS:
+        # No checkpoints: the whole history replays.
+        assert by_key[(n_updates, 0)]["records_replayed"] == n_updates
+        # Frequent checkpoints bound the replay by the interval.
+        assert by_key[(n_updates, 100)]["records_replayed"] <= 100

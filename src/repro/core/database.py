@@ -58,6 +58,11 @@ class SensorDatabase:
         self._index_stamp = None
         self._index_dirty = True
         self._size_cache = None
+        # Durability hook: a callable receiving one mutation-record
+        # dict after each successful mutation (None = no journalling).
+        # Set by DurabilityManager.attach(); the records are what WAL
+        # replay feeds back through repro.durability.apply_record.
+        self.journal = None
         # Statistics used by the caching experiments.
         self.stats = {
             "updates_applied": 0,
@@ -69,6 +74,26 @@ class SensorDatabase:
             "index_misses": 0,
             "index_rebuilds": 0,
         }
+
+    # ------------------------------------------------------------------
+    # The durability journal
+    # ------------------------------------------------------------------
+    def _journal_record(self, kind, **fields):
+        """Hand one mutation record to the attached journal (if any).
+
+        Called *after* the in-memory mutation committed and *before*
+        the mutation is acknowledged to the caller, so an acknowledged
+        mutation is always on the log.
+        """
+        journal = self.journal
+        if journal is not None:
+            fields["kind"] = kind
+            journal(fields)
+
+    @staticmethod
+    def _journal_path(id_path):
+        """ID paths as JSON-friendly ``[[tag, id], ...]`` lists."""
+        return [[entry[0], entry[1]] for entry in id_path]
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -237,13 +262,15 @@ class SensorDatabase:
     # Sensor updates (owner side)
     # ------------------------------------------------------------------
     def apply_update(self, id_path, attributes=None, values=None,
-                     require_owned=True):
+                     require_owned=True, timestamp=None):
         """Apply a sensor update to the node at *id_path*.
 
         *attributes* maps attribute names to new values; *values* maps
         non-IDable child element names to new text content (children
         are created when absent).  The node's timestamp is set from the
-        site clock.
+        site clock unless *timestamp* pins it explicitly -- WAL replay
+        passes the originally recorded timestamp so a recovered
+        partition is byte-identical to one that never crashed.
 
         Returns the updated element.  Raises :class:`CoreError` when
         the node is not owned here (the caller should forward the
@@ -272,12 +299,21 @@ class SensorDatabase:
                 child = Element(tag)
                 element.append(child)
             child.set_text(text)
-        set_timestamp(element, self.clock())
+        when = self.clock() if timestamp is None else float(timestamp)
+        set_timestamp(element, when)
         self.stats["updates_applied"] += 1
         # Updates touch only local information (no id/status changes,
         # created value children carry no id), so the IDable node set
         # is unchanged: re-stamp the index instead of rebuilding.
         self._mark_index_current()
+        self._journal_record(
+            "update",
+            path=self._journal_path(id_path_of(element)),
+            attributes=dict(attributes) if attributes else None,
+            values=dict(values) if values else None,
+            ts=when,
+            require_owned=bool(require_owned),
+        )
         return element
 
     # ------------------------------------------------------------------
@@ -313,6 +349,13 @@ class SensorDatabase:
         self._merge_node(self.root, fragment, (node_id(self.root),))
         self.stats["fragments_merged"] += 1
         self._mark_index_current()
+        if self.journal is not None:
+            # The merge never mutates the incoming fragment, so its
+            # wire bytes journal the cache fill verbatim (and reuse the
+            # serialization memo the wire path already populated).
+            from repro.xmlkit.serializer import serialize
+
+            self._journal_record("fragment", xml=serialize(fragment))
 
     def _merge_node(self, target, incoming, path):
         target_status = get_status(target)
@@ -435,6 +478,8 @@ class SensorDatabase:
             self._demote_to_stub(element)
         self.stats["evictions"] += 1
         self._mark_index_current()
+        self._journal_record("evict", path=self._journal_path(path),
+                             keep_ids=bool(keep_ids))
         return element
 
     def evict_all_cached(self):
@@ -466,6 +511,7 @@ class SensorDatabase:
                 for child in idable_children(element)
             )
         self._mark_index_current()
+        self._journal_record("evict_all")
         return evicted
 
     def _demote_to_stub(self, element):
@@ -494,6 +540,8 @@ class SensorDatabase:
             )
         set_status(element, Status.OWNED)
         self._mark_index_current()  # status flips keep the node set
+        self._journal_record(
+            "mark_owned", path=self._journal_path(id_path_of(element)))
         return element
 
     def release_ownership(self, id_path):
@@ -504,6 +552,9 @@ class SensorDatabase:
             raise CoreError(f"{node_id(element)} is not owned here")
         set_status(element, Status.COMPLETE)
         self._mark_index_current()
+        self._journal_record(
+            "release_ownership",
+            path=self._journal_path(id_path_of(element)))
         return element
 
     # ------------------------------------------------------------------

@@ -52,9 +52,19 @@ def add_idable_child(database, parent_path, tag, identifier,
     for child_tag, text in (values or {}).items():
         element.append(Element(child_tag, text=str(text)))
     set_status(element, Status.OWNED)
-    set_timestamp(element, database.clock())
+    node_ts = database.clock()
+    set_timestamp(element, node_ts)
     parent.append(element)
-    set_timestamp(parent, database.clock())
+    parent_ts = database.clock()
+    set_timestamp(parent, parent_ts)
+    database._journal_record(
+        "add_node",
+        parent=database._journal_path(parent_path),
+        tag=tag, id=identifier,
+        attributes=dict(attributes) if attributes else None,
+        values={k: str(v) for k, v in values.items()} if values else None,
+        node_ts=node_ts, parent_ts=parent_ts,
+    )
     return element
 
 
@@ -83,7 +93,11 @@ def remove_idable_child(database, path):
     # an orphan the same transient way remote caches do.
     removed = _collect_paths(element, [list(entry) for entry in path])
     parent.remove(element)
-    set_timestamp(parent, database.clock())
+    parent_ts = database.clock()
+    set_timestamp(parent, parent_ts)
+    database._journal_record(
+        "remove_node", path=database._journal_path(path),
+        parent_ts=parent_ts)
     return removed
 
 
@@ -120,5 +134,9 @@ def rename_field(database, path, old_tag, new_tag):
         replacement.set(name, value)
     element.remove(child)
     element.append(replacement)
-    set_timestamp(element, database.clock())
+    when = database.clock()
+    set_timestamp(element, when)
+    database._journal_record(
+        "rename_field", path=database._journal_path(path),
+        old=old_tag, new=new_tag, ts=when)
     return replacement

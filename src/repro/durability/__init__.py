@@ -1,0 +1,40 @@
+"""Durability for organizing agents: WAL, checkpoints, recovery.
+
+The paper's consistency story assumes an OA's owned fragment outlives
+the OA process; this package makes that true.  Every fragment mutation
+a site database performs (sensor updates, cache fills, evictions,
+ownership changes, schema evolution) is journalled to a per-site
+append-only :class:`~repro.durability.wal.WriteAheadLog` with
+CRC-framed records and batched fsyncs; periodic
+:mod:`~repro.durability.checkpoint` snapshots bound replay length; and
+:class:`~repro.durability.manager.DurabilityManager` restores a killed
+site from checkpoint + log replay, byte-identically to a site that
+never died.
+"""
+
+from repro.durability.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.manager import (
+    DurabilityConfig,
+    DurabilityError,
+    DurabilityManager,
+    apply_record,
+    partition_fingerprint,
+)
+from repro.durability.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "DurabilityConfig",
+    "DurabilityError",
+    "DurabilityManager",
+    "WriteAheadLog",
+    "WalRecord",
+    "apply_record",
+    "partition_fingerprint",
+    "write_checkpoint",
+    "load_checkpoint",
+    "latest_checkpoint",
+]

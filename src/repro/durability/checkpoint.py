@@ -1,0 +1,143 @@
+"""Snapshot checkpoints of one site's owned partition.
+
+A checkpoint is the site fragment serialized by the standard
+:mod:`repro.xmlkit.serializer` (statuses, timestamps and all), wrapped
+in a ``<checkpoint>`` envelope recording the WAL position it covers::
+
+    <checkpoint lsn="42" site="oak" time="1000.0">
+      <usRegion id="NE" status="owned" ...>...</usRegion>
+    </checkpoint>
+
+Files are written atomically (temp file + fsync + rename + directory
+fsync), named ``checkpoint-<lsn padded>.xml`` so the newest sorts
+last, and validated on load -- a checkpoint that does not parse is
+skipped and recovery falls back to the previous one plus a longer
+replay, never to garbage.
+"""
+
+import os
+import re
+
+from repro.xmlkit.nodes import Element
+from repro.xmlkit.parser import parse_fragment
+from repro.xmlkit.serializer import serialize
+
+_NAME = re.compile(r"^checkpoint-(\d+)\.xml$")
+
+
+class CheckpointError(Exception):
+    """No usable checkpoint could be written or read."""
+
+
+def checkpoint_path(directory, lsn):
+    return os.path.join(directory, f"checkpoint-{int(lsn):012d}.xml")
+
+
+def _fsync_directory(directory):
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(directory, root, lsn, site_id=None, when=None):
+    """Atomically write the snapshot covering WAL records <= *lsn*.
+
+    Returns the final path.  The envelope is serialized through the
+    shared subtree memo, so a checkpoint right after a query re-uses
+    the same cached bytes the wire path produced.
+    """
+    envelope = Element("checkpoint", attrib={"lsn": str(int(lsn))})
+    if site_id is not None:
+        envelope.set("site", str(site_id))
+    if when is not None:
+        envelope.set("time", repr(float(when)))
+    envelope.append(root.copy())
+    text = serialize(envelope)
+    final = checkpoint_path(directory, lsn)
+    tmp = final + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    _fsync_directory(directory)
+    return final
+
+
+def list_checkpoints(directory):
+    """``[(lsn, path)]`` for every checkpoint file, oldest first."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    found = []
+    for name in names:
+        match = _NAME.match(name)
+        if match:
+            found.append((int(match.group(1)),
+                          os.path.join(directory, name)))
+    return sorted(found)
+
+
+def load_checkpoint(path):
+    """``(lsn, root_element)`` from one checkpoint file.
+
+    Raises :class:`CheckpointError` on any corruption -- the caller
+    decides whether an older checkpoint can stand in.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        envelope = parse_fragment(text)
+    except Exception as exc:
+        raise CheckpointError(f"{path}: unreadable: {exc}") from exc
+    if envelope.tag != "checkpoint" or envelope.get("lsn") is None:
+        raise CheckpointError(f"{path}: not a checkpoint envelope")
+    roots = list(envelope.element_children())
+    if len(roots) != 1:
+        raise CheckpointError(
+            f"{path}: expected one fragment root, found {len(roots)}")
+    root = roots[0]
+    root.detach()
+    return int(envelope.get("lsn")), root
+
+
+def latest_checkpoint(directory):
+    """``(lsn, root_element, skipped)`` for the newest *loadable*
+    checkpoint, or ``(0, None, skipped)`` when none exists.
+
+    ``skipped`` counts newer checkpoint files that failed to load (a
+    crash mid-replace leaves none -- the write is atomic -- but disk
+    corruption is still survived by falling back).
+    """
+    skipped = 0
+    for lsn, path in reversed(list_checkpoints(directory)):
+        try:
+            loaded_lsn, root = load_checkpoint(path)
+        except CheckpointError:
+            skipped += 1
+            continue
+        return loaded_lsn, root, skipped
+    return 0, None, skipped
+
+
+def prune_checkpoints(directory, keep):
+    """Delete all but the newest *keep* checkpoints; returns #removed."""
+    if keep is None or keep < 1:
+        return 0
+    checkpoints = list_checkpoints(directory)
+    removed = 0
+    for _lsn, path in checkpoints[:-keep]:
+        try:
+            os.remove(path)
+            removed += 1
+        except OSError:
+            pass
+    return removed

@@ -1,0 +1,220 @@
+"""The per-site write-ahead log: CRC-framed records, batched fsyncs.
+
+One log file holds a sequence of frames::
+
+    +----------------+----------------+------------------------+
+    | length (>I)    | crc32 (>I)     | payload (JSON, UTF-8)  |
+    +----------------+----------------+------------------------+
+
+The payload is one mutation record (a JSON object carrying ``lsn``,
+``kind`` and the mutation's arguments); the CRC covers the payload
+bytes only, so a frame whose length or checksum does not match is a
+*torn tail* -- the prefix of a record the process was writing when it
+died.  Opening a log scans it, keeps every valid record, and truncates
+the file back to the last valid frame boundary, which makes an append
+after a crash safe (no garbage between old and new records).
+
+Durability policy: every append flushes to the OS (an acknowledged
+mutation survives the *process*); ``sync_every`` batches the expensive
+``fsync`` so surviving an *OS* crash costs one disk flush per N
+records instead of per record (group commit).  ``sync_every=0``
+disables fsync entirely (tests, benchmarks); ``flush(sync=True)``
+forces one.
+"""
+
+import json
+import os
+import struct
+import threading
+import zlib
+
+_FRAME = struct.Struct(">II")
+
+#: Frames larger than this are treated as torn/corrupt rather than
+#: honoured -- a bit-flipped length field must not make the scanner
+#: try to allocate gigabytes.
+MAX_RECORD_BYTES = 256 * 1024 * 1024
+
+
+class WalError(Exception):
+    """A write-ahead log problem that is not a routine torn tail."""
+
+
+class WalRecord(dict):
+    """One replayed mutation record (a dict with an ``lsn`` shortcut)."""
+
+    @property
+    def lsn(self):
+        return self["lsn"]
+
+
+def _scan_frames(path):
+    """``(records, valid_end_offset, torn_bytes)`` for the log at *path*.
+
+    Reads frames until EOF or the first frame that cannot be a record
+    (short header, short payload, CRC mismatch, oversized length,
+    undecodable JSON).  Everything after the last valid frame is the
+    torn tail.
+    """
+    records = []
+    valid_end = 0
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return records, 0, 0
+    with open(path, "rb") as handle:
+        while True:
+            header = handle.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                break
+            length, crc = _FRAME.unpack(header)
+            if length > MAX_RECORD_BYTES:
+                break
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break
+            if not isinstance(record, dict) or "lsn" not in record:
+                break
+            records.append(WalRecord(record))
+            valid_end = handle.tell()
+    return records, valid_end, size - valid_end
+
+
+class WriteAheadLog:
+    """An append-only, crash-tolerant record log (thread-safe).
+
+    Opening scans the existing file, truncates any torn tail and
+    continues the LSN sequence after the last valid record (or after
+    *start_lsn*, whichever is higher -- the caller passes the latest
+    checkpoint's LSN so numbering survives log rotation).  The records
+    found at open time are kept on :attr:`recovered_records` for the
+    recovery path to replay.
+    """
+
+    def __init__(self, path, sync_every=64, start_lsn=0):
+        self.path = path
+        self.sync_every = max(0, int(sync_every))
+        self.stats = {
+            "appends": 0,
+            "flushes": 0,
+            "fsyncs": 0,
+            "torn_bytes_dropped": 0,
+            "resets": 0,
+        }
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        records, valid_end, torn = _scan_frames(path)
+        if torn:
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+            self.stats["torn_bytes_dropped"] += torn
+        self.recovered_records = records
+        last_lsn = records[-1].lsn if records else 0
+        self._next_lsn = max(int(start_lsn), last_lsn) + 1
+        self._handle = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    @property
+    def next_lsn(self):
+        return self._next_lsn
+
+    @property
+    def last_lsn(self):
+        return self._next_lsn - 1
+
+    def append(self, record):
+        """Frame and write one record; returns its LSN.
+
+        The record is flushed to the OS before the call returns (the
+        in-process buffer never holds acknowledged mutations); fsync
+        happens every ``sync_every`` appends.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise WalError(f"log {self.path} is closed")
+            lsn = self._next_lsn
+            payload = dict(record)
+            payload["lsn"] = lsn
+            data = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+            if len(data) > MAX_RECORD_BYTES:
+                raise WalError(
+                    f"record of {len(data)} bytes exceeds the frame limit")
+            self._handle.write(_FRAME.pack(len(data), zlib.crc32(data)))
+            self._handle.write(data)
+            self._handle.flush()
+            self._next_lsn = lsn + 1
+            self.stats["appends"] += 1
+            self.stats["flushes"] += 1
+            self._unsynced += 1
+            if self.sync_every and self._unsynced >= self.sync_every:
+                self._fsync_locked()
+            return lsn
+
+    def _fsync_locked(self):
+        os.fsync(self._handle.fileno())
+        self.stats["fsyncs"] += 1
+        self._unsynced = 0
+
+    def flush(self, sync=True):
+        """Flush buffered frames; with *sync* also fsync to disk."""
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            self.stats["flushes"] += 1
+            if sync and self._unsynced:
+                self._fsync_locked()
+
+    def size_bytes(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def reset(self):
+        """Empty the log (after a checkpoint captured every record).
+
+        LSN numbering continues -- recovery filters replay by
+        ``lsn > checkpoint.lsn``, so numbers must never repeat.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise WalError(f"log {self.path} is closed")
+            self._handle.close()
+            with open(self.path, "wb") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._handle = open(self.path, "ab")
+            self._unsynced = 0
+            self.recovered_records = []
+            self.stats["resets"] += 1
+
+    def close(self, sync=True):
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.flush()
+            if sync:
+                try:
+                    os.fsync(self._handle.fileno())
+                    self.stats["fsyncs"] += 1
+                except OSError:
+                    pass
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def closed(self):
+        return self._handle is None
+
+    def __repr__(self):
+        return (f"WriteAheadLog({self.path!r}, next_lsn={self._next_lsn}, "
+                f"appends={self.stats['appends']})")

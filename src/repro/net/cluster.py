@@ -28,7 +28,8 @@ class Cluster:
 
     def __init__(self, global_document, plan, service="parking",
                  zone="intel-iris.net", oa_config=None, clock=None,
-                 count_bytes=False, schema=None, network=None):
+                 count_bytes=False, schema=None, network=None,
+                 durability=None):
         if not isinstance(plan, PartitionPlan):
             plan = PartitionPlan(plan)
         from repro.xmlkit.nodes import Document as _Document
@@ -38,6 +39,7 @@ class Cluster:
         self.global_document = global_document
         self.plan = plan
         self.clock = clock or (lambda: 0.0)
+        self.oa_config = oa_config or OAConfig()
         self.schema = schema or HierarchySchema.from_document(global_document)
         # An injected network (e.g. a FaultyNetwork-wrapped loopback)
         # must still expose register()/request(); anything extra is the
@@ -48,23 +50,54 @@ class Cluster:
         for path, site in self.owner_map.items():
             self.dns.register_id_path(path, site)
 
+        # Durability: a DurabilityConfig turns on per-site WAL +
+        # checkpoints (None, or enabled=False, leaves agents exactly as
+        # before the subsystem existed).
+        self.durability_config = (
+            durability if durability is not None and durability.enabled
+            else None
+        )
+
         databases = plan.build_databases(global_document,
                                          default_clock=self.clock)
         self.agents = {}
         for site, database in databases.items():
-            resolver = DnsResolver(self.dns, clock=self.clock)
-            agent = OrganizingAgent(
-                site, database, self.network, resolver,
-                schema=self.schema,
-                config=oa_config or OAConfig(),
-                clock=self.clock,
-            )
-            self.network.register(site, agent)
-            self.agents[site] = agent
+            self.agents[site] = self._build_agent(site, database)
 
         self.client_resolver = DnsResolver(self.dns, clock=self.clock)
         self.sensing_agents = []
-        self.stats = {"client_queries": 0, "lca_cache_hits": 0}
+        self.stats = {"client_queries": 0, "lca_cache_hits": 0,
+                      "site_kills": 0, "site_restarts": 0}
+
+    def _build_agent(self, site, database):
+        """One OA, durably journalled when durability is configured.
+
+        When the site's durability directory already holds state (a
+        restart -- of the single site or of the whole deployment), the
+        freshly partitioned *database* is discarded and the agent
+        recovers from checkpoint + WAL instead.
+        """
+        from repro.durability import DurabilityManager
+
+        manager = None
+        if self.durability_config is not None:
+            manager = DurabilityManager(self.durability_config, site,
+                                        clock=self.clock)
+            if manager.has_state():
+                database = None
+        resolver = DnsResolver(self.dns, clock=self.clock)
+        agent = OrganizingAgent(
+            site, database, self.network, resolver,
+            schema=self.schema,
+            config=self.oa_config,
+            clock=self.clock,
+            durability=manager,
+        )
+        if hasattr(self.network, "register"):
+            # Loopback-style delivery; the TCP runtime registers
+            # addresses instead (TcpCluster handles that).
+            self.network.register(site, agent)
+        return agent
 
     # ------------------------------------------------------------------
     @property
@@ -230,6 +263,65 @@ class Cluster:
         for removed_path in removed:
             self.owner_map.pop(tuple(tuple(e) for e in removed_path), None)
         return removed
+
+    # ------------------------------------------------------------------
+    # Site lifecycle (crash / recovery; graceful teardown)
+    # ------------------------------------------------------------------
+    def kill_site(self, site):
+        """Simulate the OA process at *site* dying abruptly.
+
+        The agent object -- its fragment, cache and subscriptions -- is
+        discarded; nothing is flushed or checkpointed beyond what the
+        durability layer already put on disk (exactly a SIGKILL's
+        view).  DNS keeps routing to the site; peers see connection
+        failures until :meth:`restart_site`.
+        """
+        agent = self.agents.pop(site, None)
+        if agent is None:
+            raise QueryRoutingError(f"unknown site {site!r}")
+        if hasattr(self.network, "unregister"):
+            self.network.unregister(site)
+        if agent.durability is not None:
+            agent.durability.abort()
+        self.stats["site_kills"] += 1
+        return agent
+
+    def restart_site(self, site):
+        """Bring a killed site back from its WAL + checkpoint.
+
+        Requires durability -- without it the fragment died with the
+        process and only a full redeploy can recreate it.  Returns the
+        new agent.
+        """
+        if self.durability_config is None:
+            raise QueryRoutingError(
+                f"cannot restart {site!r}: cluster has no durability "
+                "(the fragment died with the agent)")
+        if site in self.agents:
+            raise QueryRoutingError(f"site {site!r} is already running")
+        agent = self._build_agent(site, None)
+        self.agents[site] = agent
+        self.stats["site_restarts"] += 1
+        return agent
+
+    def bind_lifecycle(self, faulty):
+        """Hook a :class:`~repro.net.faults.FaultyNetwork`'s agent-level
+        kill/restart injection to this cluster's site lifecycle."""
+        faulty.bind_lifecycle(kill=self.kill_site, restart=self.restart_site)
+        return faulty
+
+    def shutdown(self, final_checkpoint=True, close_network=True):
+        """Graceful teardown: drain every site's WAL, snapshot, close.
+
+        The loopback runtime has no accept loop to stop, so the drain
+        is the durability flush; the TCP runtime layers its own
+        stop-accepting/finish-in-flight phase on top (see
+        :meth:`~repro.net.tcpruntime.TcpCluster.close`).
+        """
+        for agent in self.agents.values():
+            agent.shutdown(final_checkpoint=final_checkpoint)
+        if close_network and hasattr(self.network, "close"):
+            self.network.close()
 
     def validate(self, structural_only=False):
         """Run invariant checks across every site.

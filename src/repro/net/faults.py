@@ -79,6 +79,8 @@ class FaultyNetwork:
         self._down = set(down_sites)
         self._counters = {}
         self._lock = threading.Lock()
+        self._kill_hook = None
+        self._restart_hook = None
         self.fault_stats = {
             "requests": 0,
             "drops": 0,
@@ -87,6 +89,8 @@ class FaultyNetwork:
             "delays": 0,
             "down_refused": 0,
             "delivered": 0,
+            "agent_kills": 0,
+            "agent_restarts": 0,
         }
 
     # -- crash schedule --------------------------------------------------
@@ -102,6 +106,38 @@ class FaultyNetwork:
     def is_down(self, site):
         with self._lock:
             return site in self._down
+
+    # -- agent-level kill/restart ---------------------------------------
+    def bind_lifecycle(self, kill=None, restart=None):
+        """Register the deployment's real site-lifecycle callbacks.
+
+        :meth:`crash`/:meth:`recover` only sever the *transport*: the
+        agent object survives with its fragment, cache and
+        subscriptions intact, which is a network partition, not a
+        process death.  With lifecycle callbacks bound
+        (``Cluster.bind_lifecycle`` / ``TcpCluster.bind_lifecycle`` do
+        this), :meth:`kill_agent` destroys the agent's in-memory state
+        too, and :meth:`restart_agent` brings it back through the
+        durability subsystem's checkpoint + WAL replay -- the failure
+        mode the paper's consistency story silently assumed away.
+        """
+        self._kill_hook = kill
+        self._restart_hook = restart
+        return self
+
+    def kill_agent(self, site):
+        """Process death: sever the transport AND destroy agent state."""
+        self.crash(site)
+        if self._kill_hook is not None:
+            self._kill_hook(site)
+        self._count("agent_kills")
+
+    def restart_agent(self, site):
+        """Recover *site* from durable state, then restore the link."""
+        if self._restart_hook is not None:
+            self._restart_hook(site)
+        self.recover(site)
+        self._count("agent_restarts")
 
     # -- fault draws -----------------------------------------------------
     def _draw(self, src, dst):

@@ -109,9 +109,24 @@ class OrganizingAgent:
     """One site's manager process."""
 
     def __init__(self, site_id, database, network, resolver, schema=None,
-                 config=None, clock=None):
+                 config=None, clock=None, durability=None):
         self.site_id = site_id
+        self.durability = durability
+        if durability is not None and database is None:
+            # Startup recovery: rebuild the partition from the site's
+            # checkpoint + WAL instead of a caller-provided fragment.
+            database = durability.recover(clock=clock, site_id=site_id)
+        if database is None:
+            raise CoreError(
+                f"OrganizingAgent {site_id!r} needs a database (or a "
+                "durability manager with recoverable state)")
         self.database = database
+        if durability is not None:
+            # From here on every mutation the database commits -- the
+            # update path, the gather's cache fills, evictions,
+            # ownership flips -- lands on the WAL before it is
+            # acknowledged.
+            durability.attach(database)
         self.network = network
         self.resolver = resolver
         self.schema = schema
@@ -614,6 +629,15 @@ class OrganizingAgent:
             "index_rebuilds": self.database.stats["index_rebuilds"],
             "serialization": dict(serialization_stats(), scope="process"),
         }
+
+    def shutdown(self, final_checkpoint=True):
+        """Graceful local teardown: drain the WAL, snapshot, detach.
+
+        Safe without durability (a no-op).  Runtimes call this after
+        their drain phase -- no requests may be in flight.
+        """
+        if self.durability is not None:
+            self.durability.close(final_checkpoint=final_checkpoint)
 
     def health_snapshot(self):
         """Per-peer circuit-breaker state, ``{}`` when breaking is off."""

@@ -68,6 +68,12 @@ def _recv_exactly(sock, count):
 
 
 class _AgentRequestHandler(socketserver.BaseRequestHandler):
+    def setup(self):
+        self.server.track_connection(self.request)
+
+    def finish(self):
+        self.server.untrack_connection(self.request)
+
     def handle(self):
         while True:
             try:
@@ -76,6 +82,8 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                 return
             if payload is None:
                 return
+            close_after_reply = False
+            message = None
             try:
                 message = Message.decode(payload)
             except Exception as exc:  # XmlParseError, MessageError, ...
@@ -88,77 +96,227 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                     detail=f"{type(exc).__name__}: {exc}",
                     retryable=False, sender=self.server.agent.site_id)
                 payload = reply.encode()
+            if message is None:
+                pass  # undecodable: the error reply is already framed
+            elif not self.server.admit():
+                # Overload protection / drain: the bounded inbound
+                # queue is full (or the server is draining), so shed
+                # the request *before* it queues on the agent lock.
+                # The retryable structured error composes with the
+                # sender's backoff -- it retries later or routes on,
+                # instead of piling onto a melting site.
+                draining = self.server.draining
+                reply = ErrorMessage(
+                    message.message_id, code="server-overloaded",
+                    detail=("draining for shutdown" if draining
+                            else "inbound queue full"),
+                    retryable=True, sender=self.server.agent.site_id)
+                payload = reply.encode()
+                close_after_reply = draining
             else:
                 # The socket thread has no ambient span: parent the
                 # serve span on the wire trace context (if any) so the
                 # remote site's spans join the asking site's trace.
-                with TRACER.span(
-                        "tcp-serve",
-                        site=getattr(self.server.agent, "site_id", None),
-                        remote_parent=message.trace_ctx) as serve_span:
-                    try:
-                        with self.server.agent_lock:
-                            reply = self.server.agent.handle_message(
-                                message)
-                            # Encoding stays under the lock: serializing
-                            # the reply touches shared site state (the
-                            # serialization-memo write-back into database
-                            # elements), so it must not race with another
-                            # handler mutating the fragment.
-                            payload = (reply.encode()
-                                       if reply is not None else "")
-                    except Exception as exc:
-                        # A handler crash is a reply, not a dead socket:
-                        # the client gets a structured error to act on
-                        # instead of a connection reset it cannot
-                        # attribute.
-                        logger.exception(
-                            "site %r: handler failed on %s",
-                            self.server.agent.site_id,
-                            type(message).__name__)
-                        reply = ErrorMessage(
-                            message.message_id, code="handler-error",
-                            detail=f"{type(exc).__name__}: {exc}",
-                            retryable=False,
-                            sender=self.server.agent.site_id)
-                        attach_context(reply, serve_span)
-                        payload = reply.encode()
+                try:
+                    with TRACER.span(
+                            "tcp-serve",
+                            site=getattr(self.server.agent, "site_id",
+                                         None),
+                            remote_parent=message.trace_ctx) as serve_span:
+                        try:
+                            with self.server.agent_lock:
+                                reply = self.server.agent.handle_message(
+                                    message)
+                                # Encoding stays under the lock:
+                                # serializing the reply touches shared
+                                # site state (the serialization-memo
+                                # write-back into database elements), so
+                                # it must not race with another handler
+                                # mutating the fragment.
+                                payload = (reply.encode()
+                                           if reply is not None else "")
+                        except Exception as exc:
+                            # A handler crash is a reply, not a dead
+                            # socket: the client gets a structured error
+                            # to act on instead of a connection reset it
+                            # cannot attribute.
+                            logger.exception(
+                                "site %r: handler failed on %s",
+                                self.server.agent.site_id,
+                                type(message).__name__)
+                            reply = ErrorMessage(
+                                message.message_id, code="handler-error",
+                                detail=f"{type(exc).__name__}: {exc}",
+                                retryable=False,
+                                sender=self.server.agent.site_id)
+                            attach_context(reply, serve_span)
+                            payload = reply.encode()
+                finally:
+                    self.server.release()
             try:
                 send_framed(self.request, payload)
             except OSError:
                 # The client hung up while we worked; nothing to tell.
                 return
+            if close_after_reply:
+                # Draining: the rejection is the connection's last
+                # frame, so the pooled socket dies and the client
+                # re-dials elsewhere (or fails fast) next time.
+                return
 
 
 class TcpSiteServer(socketserver.ThreadingTCPServer):
-    """One site's OA served over TCP (threaded, connection-per-client)."""
+    """One site's OA served over TCP (threaded, connection-per-client).
+
+    Overload protection: at most ``max_pending`` requests may be
+    admitted (decoded and queued on / holding the agent lock) at once.
+    Requests beyond that are answered immediately with a retryable
+    ``server-overloaded`` :class:`ErrorMessage` -- shedding load at
+    admission instead of letting an unbounded thread pile-up grow the
+    tail latency without bound.  ``queue_depth`` (an obs
+    :class:`~repro.obs.registry.Gauge`) tracks the live queue.
+
+    Graceful drain: :meth:`begin_drain` stops accepting connections
+    and flips admission off; in-flight requests finish and are
+    answered; :meth:`wait_drained` blocks until the queue is empty and
+    then drains the agent's WAL to disk.  :meth:`stop` runs the full
+    sequence; ``stop(drain=False)`` is the crash-style teardown the
+    kill/restart chaos path uses.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, agent, host="127.0.0.1", port=0):
+    def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64):
         super().__init__((host, port), _AgentRequestHandler)
+        from repro.obs.registry import Gauge
+
         self.agent = agent
         # The loopback runtime serializes each site with a lock; the
         # TCP runtime does the same, mirroring one-OA-per-site.
         self.agent_lock = threading.Lock()
         self._thread = None
+        self.max_pending = max_pending
+        site = getattr(agent, "site_id", "site")
+        self.queue_depth = Gauge(f"{site}.queue_depth")
+        self._admission_lock = threading.Lock()
+        self._pending = 0
+        self._draining = False
+        self._idle = threading.Event()
+        self._idle.set()
+        self._connections = set()
+        self._connections_lock = threading.Lock()
+        self.stats = {"admitted": 0, "overload_rejections": 0,
+                      "drain_rejections": 0, "max_queue_depth": 0}
 
     @property
     def address(self):
         return self.server_address
 
+    @property
+    def draining(self):
+        return self._draining
+
+    # -- connection tracking (for crash-style teardown) -----------------
+    def track_connection(self, sock):
+        with self._connections_lock:
+            self._connections.add(sock)
+
+    def untrack_connection(self, sock):
+        with self._connections_lock:
+            self._connections.discard(sock)
+
+    def _sever_connections(self):
+        with self._connections_lock:
+            victims = list(self._connections)
+            self._connections.clear()
+        for sock in victims:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            _close_quietly(sock)
+
+    # -- admission ------------------------------------------------------
+    def admit(self):
+        """Take one slot of the bounded inbound queue (False = shed)."""
+        with self._admission_lock:
+            if self._draining:
+                self.stats["drain_rejections"] += 1
+                return False
+            if self._pending >= self.max_pending:
+                self.stats["overload_rejections"] += 1
+                return False
+            self._pending += 1
+            self._idle.clear()
+            self.stats["admitted"] += 1
+            if self._pending > self.stats["max_queue_depth"]:
+                self.stats["max_queue_depth"] = self._pending
+            self.queue_depth.set(self._pending)
+            return True
+
+    def release(self):
+        with self._admission_lock:
+            self._pending -= 1
+            self.queue_depth.set(self._pending)
+            if self._pending == 0:
+                self._idle.set()
+
+    def server_stats(self):
+        """Queue/overload counters for the metrics registry."""
+        with self._admission_lock:
+            out = dict(self.stats)
+            out["queue_depth"] = self._pending
+            out["max_pending"] = self.max_pending
+            out["draining"] = self._draining
+            return out
+
+    # -- lifecycle ------------------------------------------------------
     def start(self):
         self._thread = threading.Thread(target=self.serve_forever,
                                         daemon=True)
         self._thread.start()
         return self
 
-    def stop(self):
-        self.shutdown()
+    def begin_drain(self):
+        """Stop accepting; shed new requests; let in-flight finish."""
+        with self._admission_lock:
+            self._draining = True
+        self.shutdown()  # stops the accept loop (idempotent)
+
+    def wait_drained(self, timeout=5.0):
+        """Block until in-flight requests finished, then flush the WAL.
+
+        Returns ``True`` when the queue reached empty within *timeout*
+        (the WAL is flushed either way -- a hung request must not keep
+        acknowledged mutations off the disk).
+        """
+        drained = self._idle.wait(timeout)
+        if getattr(self.agent, "durability", None) is not None:
+            self.agent.durability.flush()
+        return drained
+
+    def stop(self, drain=True, timeout=5.0):
+        """Tear the server down; graceful by default, abrupt for chaos.
+
+        With *drain*: stop accepting, finish in-flight requests, flush
+        the WAL, then close.  Without: close immediately -- in-flight
+        work is abandoned mid-flight, exactly like a process kill.
+        """
+        if drain:
+            self.begin_drain()
+            self.wait_drained(timeout)
+        else:
+            self.shutdown()
+            # A real process kill severs *established* connections
+            # too, not just the listener: without this, peers' pooled
+            # sockets keep talking to this site's handler threads --
+            # a zombie of the killed agent that still answers queries.
+            self._sever_connections()
         self.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+            self._thread = None
 
 
 def _close_quietly(sock):
@@ -319,20 +477,25 @@ class TcpCluster:
     ``network_wrapper`` (a callable ``TcpNetwork -> network``) wraps
     the shared client-side transport before the agents are rewired onto
     it -- e.g. ``lambda net: FaultyNetwork(net, seed=7, drop_rate=0.2)``
-    for chaos testing over real sockets.
+    for chaos testing over real sockets.  ``max_pending`` bounds each
+    server's inbound queue (overload protection); pass a
+    ``durability=DurabilityConfig(...)`` cluster kwarg to make the
+    sites crash-recoverable via :meth:`kill_site`/:meth:`restart_site`.
     """
 
     def __init__(self, global_document, plan, network_wrapper=None,
-                 **cluster_kwargs):
+                 max_pending=64, **cluster_kwargs):
         from repro.net.cluster import Cluster
 
         self.cluster = Cluster(global_document, plan, **cluster_kwargs)
+        self.max_pending = max_pending
         self.tcp_network = TcpNetwork()
         self.network = (self.tcp_network if network_wrapper is None
                         else network_wrapper(self.tcp_network))
         self.servers = {}
+        self._parked_addresses = {}
         for site, agent in self.cluster.agents.items():
-            server = TcpSiteServer(agent).start()
+            server = TcpSiteServer(agent, max_pending=max_pending).start()
             self.servers[site] = server
             self.network.register_address(site, server.address)
         for agent in self.cluster.agents.values():
@@ -345,7 +508,59 @@ class TcpCluster:
     def __exit__(self, *exc_info):
         self.close()
 
-    def close(self):
+    # -- site lifecycle (crash / recovery) ------------------------------
+    def kill_site(self, site):
+        """Kill one site's server *and* agent state (process death).
+
+        The listening socket closes mid-flight (no drain, no final
+        checkpoint); peers see resets/refused connections until
+        :meth:`restart_site` brings the site back from WAL+checkpoint.
+        """
+        server = self.servers.pop(site)
+        self._parked_addresses[site] = server.address
+        server.stop(drain=False)
+        self.cluster.kill_site(site)
+
+    def restart_site(self, site):
+        """Recover the site from durable state on its old address."""
+        host, port = self._parked_addresses.pop(site)
+        agent = self.cluster.restart_site(site)
+        agent.network = self.network
+        server = TcpSiteServer(agent, host=host, port=port,
+                               max_pending=self.max_pending).start()
+        self.servers[site] = server
+        self.network.register_address(site, server.address)
+        return agent
+
+    def bind_lifecycle(self, faulty):
+        """Hook a :class:`~repro.net.faults.FaultyNetwork`'s agent-level
+        kill/restart injection to real server+agent teardown."""
+        faulty.bind_lifecycle(kill=self.kill_site,
+                              restart=self.restart_site)
+        return faulty
+
+    def metrics(self):
+        """Cluster metrics plus per-server queue/overload counters."""
+        out = self.cluster.metrics()
+        out["servers"] = {site: server.server_stats()
+                         for site, server in sorted(self.servers.items())}
+        return out
+
+    def close(self, drain=True):
+        """Tear the deployment down, gracefully by default.
+
+        Graceful: every server stops accepting and sheds new requests,
+        in-flight requests complete, WALs drain to disk, then sockets
+        close and each agent takes its final checkpoint.  With
+        ``drain=False`` everything stops abruptly (crash-style; the
+        durability directories keep whatever was already journalled).
+        """
+        if drain:
+            for server in self.servers.values():
+                server.begin_drain()
+            for server in self.servers.values():
+                server.wait_drained()
         self.network.close()
         for server in self.servers.values():
-            server.stop()
+            server.stop(drain=False)
+        self.cluster.shutdown(final_checkpoint=drain, close_network=False)

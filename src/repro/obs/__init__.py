@@ -26,6 +26,7 @@ from repro.obs.registry import (
     build_cluster_registry,
     build_site_registry,
     cluster_metrics,
+    durability_counters,
     engine_counters,
     fault_counters,
     site_metrics,
@@ -64,6 +65,7 @@ __all__ = [
     "build_cluster_registry",
     "site_metrics",
     "cluster_metrics",
+    "durability_counters",
     "engine_counters",
     "fault_counters",
     "ExplainReport",

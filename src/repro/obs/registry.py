@@ -282,6 +282,43 @@ def fault_counters(agents):
     return totals
 
 
+def durability_counters(agents):
+    """Aggregate WAL/checkpoint/recovery counters across agents.
+
+    Sums every durable OA's :meth:`DurabilityManager.counters` and
+    keeps the per-site snapshots under ``sites``.  Agents without
+    durability contribute nothing; with none at all the totals are
+    zero and ``sites`` is empty (the subsystem is off).
+    """
+    if hasattr(agents, "values"):
+        agents = dict(agents)
+    else:
+        agents = {getattr(a, "site_id", i): a
+                  for i, a in enumerate(agents)}
+    totals = {
+        "records_appended": 0,
+        "checkpoints_written": 0,
+        "recoveries": 0,
+        "records_replayed": 0,
+        "replay_skipped": 0,
+        "cache_entries_expired": 0,
+        "torn_bytes_dropped": 0,
+        "wal_bytes": 0,
+        "wal_fsyncs": 0,
+    }
+    sites = {}
+    for site, agent in sorted(agents.items()):
+        manager = getattr(agent, "durability", None)
+        if manager is None:
+            continue
+        snapshot = manager.counters()
+        sites[site] = snapshot
+        for key in totals:
+            totals[key] += snapshot.get(key, 0)
+    totals["sites"] = sites
+    return totals
+
+
 def build_site_registry(agent):
     """A registry absorbing one organizing agent's metric surfaces.
 
@@ -301,6 +338,8 @@ def build_site_registry(agent):
                                 lambda: dict(agent.continuous.stats))
     registry.register_collector("engine", agent.engine_counters)
     registry.register_collector("breakers", agent.health_snapshot)
+    if getattr(agent, "durability", None) is not None:
+        registry.register_collector("durability", agent.durability.counters)
     return registry
 
 
@@ -325,6 +364,9 @@ def build_cluster_registry(cluster):
     )
     registry.register_collector(
         "faults", lambda: fault_counters(cluster.agents))
+    if getattr(cluster, "durability_config", None) is not None:
+        registry.register_collector(
+            "durability", lambda: durability_counters(cluster.agents))
 
     def per_site():
         return {site: site_metrics(agent)

@@ -6,7 +6,11 @@ registry in :mod:`repro.obs.registry`; ``collect_engine_counters`` and
 original names and output shapes.
 """
 
-from repro.obs.registry import engine_counters, fault_counters
+from repro.obs.registry import (
+    durability_counters,
+    engine_counters,
+    fault_counters,
+)
 
 
 def collect_engine_counters(databases):
@@ -25,6 +29,16 @@ def collect_fault_counters(agents):
     (same input conventions, same output shape).
     """
     return fault_counters(agents)
+
+
+def collect_durability_counters(agents):
+    """Aggregate WAL/checkpoint/recovery counters across agents.
+
+    Back-compat-style alias for
+    :func:`repro.obs.registry.durability_counters` (same input
+    conventions, same output shape).
+    """
+    return durability_counters(agents)
 
 
 class WorkloadMetrics:

@@ -1,0 +1,218 @@
+"""Unit tests for the durability substrate: WAL framing + checkpoints."""
+
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.durability import (
+    WalRecord,
+    WriteAheadLog,
+    latest_checkpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.checkpoint import (
+    CheckpointError,
+    checkpoint_path,
+    list_checkpoints,
+    prune_checkpoints,
+)
+from repro.durability.wal import MAX_RECORD_BYTES, WalError, _scan_frames
+from repro.xmlkit import parse_fragment, serialize
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+class TestWalFraming:
+    def test_append_and_recover_roundtrip(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        for index in range(5):
+            wal.append({"kind": "update", "value": index})
+        wal.close()
+
+        reopened = WriteAheadLog(log_path, sync_every=0)
+        assert [r["value"] for r in reopened.recovered_records] == \
+            [0, 1, 2, 3, 4]
+        assert [r.lsn for r in reopened.recovered_records] == \
+            [1, 2, 3, 4, 5]
+        assert reopened.next_lsn == 6
+        reopened.close()
+
+    def test_append_returns_monotonic_lsns(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        lsns = [wal.append({"kind": "update"}) for _ in range(4)]
+        assert lsns == [1, 2, 3, 4]
+        assert wal.last_lsn == 4
+        wal.close()
+
+    def test_torn_tail_truncated_on_open(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        wal.append({"kind": "update", "value": "keep"})
+        wal.close()
+        intact_size = os.path.getsize(log_path)
+        with open(log_path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x30partial-frame")  # torn tail
+
+        reopened = WriteAheadLog(log_path, sync_every=0)
+        assert len(reopened.recovered_records) == 1
+        assert reopened.recovered_records[0]["value"] == "keep"
+        assert reopened.stats["torn_bytes_dropped"] > 0
+        assert os.path.getsize(log_path) == intact_size
+        reopened.close()
+
+    def test_crc_mismatch_stops_the_scan(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        wal.append({"kind": "update", "value": "good"})
+        wal.close()
+        # A validly-framed record with a wrong CRC, then a valid one
+        # after it: the scan must stop at the corruption (everything
+        # past it is unreachable garbage).
+        payload = json.dumps({"kind": "update", "lsn": 2}).encode()
+        with open(log_path, "ab") as handle:
+            handle.write(struct.pack(">II", len(payload), 0xDEADBEEF))
+            handle.write(payload)
+            good = json.dumps({"kind": "update", "lsn": 3}).encode()
+            handle.write(struct.pack(">II", len(good), zlib.crc32(good)))
+            handle.write(good)
+
+        records, _end, torn = _scan_frames(log_path)
+        assert [r.lsn for r in records] == [1]
+        assert torn > 0
+
+    def test_oversized_length_treated_as_torn(self, log_path):
+        with open(log_path, "wb") as handle:
+            handle.write(struct.pack(">II", MAX_RECORD_BYTES + 1, 0))
+        records, end, torn = _scan_frames(log_path)
+        assert records == [] and end == 0 and torn == 8
+
+    def test_non_dict_payload_treated_as_torn(self, log_path):
+        payload = json.dumps([1, 2, 3]).encode()
+        with open(log_path, "wb") as handle:
+            handle.write(struct.pack(">II", len(payload),
+                                     zlib.crc32(payload)))
+            handle.write(payload)
+        records, end, _torn = _scan_frames(log_path)
+        assert records == [] and end == 0
+
+    def test_missing_file_is_an_empty_log(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        assert wal.recovered_records == []
+        assert wal.next_lsn == 1
+        wal.close()
+
+    def test_oversized_record_refused(self, log_path, monkeypatch):
+        monkeypatch.setattr("repro.durability.wal.MAX_RECORD_BYTES", 128)
+        wal = WriteAheadLog(log_path, sync_every=0)
+        with pytest.raises(WalError):
+            wal.append({"kind": "update", "blob": "x" * 256})
+        wal.close()
+
+    def test_append_after_close_refused(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        wal.close()
+        assert wal.closed
+        with pytest.raises(WalError):
+            wal.append({"kind": "update"})
+
+
+class TestWalDurabilityPolicy:
+    def test_fsync_batching(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=3)
+        for _ in range(7):
+            wal.append({"kind": "update"})
+        # Group commit: 7 appends at sync_every=3 -> 2 fsyncs (after
+        # records 3 and 6), every append flushed to the OS.
+        assert wal.stats["fsyncs"] == 2
+        assert wal.stats["appends"] == 7
+        assert wal.stats["flushes"] >= 7
+        wal.flush(sync=True)
+        assert wal.stats["fsyncs"] == 3  # the straggler
+        wal.close()
+
+    def test_sync_every_zero_never_fsyncs_on_append(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        for _ in range(10):
+            wal.append({"kind": "update"})
+        assert wal.stats["fsyncs"] == 0
+        wal.close(sync=False)
+
+    def test_reset_empties_file_but_lsn_continues(self, log_path):
+        wal = WriteAheadLog(log_path, sync_every=0)
+        for _ in range(3):
+            wal.append({"kind": "update"})
+        assert wal.size_bytes() > 0
+        wal.reset()
+        assert wal.size_bytes() == 0
+        assert wal.append({"kind": "update"}) == 4  # numbering survives
+        wal.close()
+
+    def test_start_lsn_resumes_past_checkpoint(self, log_path):
+        # An empty log whose checkpoint covers LSN 9: the next record
+        # must be 10, not 1, or replay filtering would drop it.
+        wal = WriteAheadLog(log_path, sync_every=0, start_lsn=9)
+        assert wal.append({"kind": "update"}) == 10
+        wal.close()
+
+    def test_wal_record_lsn_shortcut(self):
+        record = WalRecord({"lsn": 7, "kind": "update"})
+        assert record.lsn == 7
+        assert record["kind"] == "update"
+
+
+class TestCheckpoints:
+    def _fragment(self):
+        return parse_fragment(
+            "<usRegion id='NE' status='owned'>"
+            "<state id='PA' status='owned'><population>12</population>"
+            "</state></usRegion>")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        directory = str(tmp_path)
+        root = self._fragment()
+        path = write_checkpoint(directory, root, lsn=42, site_id="oak",
+                                when=1000.0)
+        assert path == checkpoint_path(directory, 42)
+        lsn, loaded = load_checkpoint(path)
+        assert lsn == 42
+        assert loaded.parent is None  # detached from the envelope
+        assert serialize(loaded, sort_attributes=True, use_cache=False) == \
+            serialize(root, sort_attributes=True, use_cache=False)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_checkpoint(str(tmp_path), self._fragment(), lsn=1)
+        assert [n for n in os.listdir(str(tmp_path))
+                if n.endswith(".tmp")] == []
+
+    def test_latest_falls_back_past_corruption(self, tmp_path):
+        directory = str(tmp_path)
+        write_checkpoint(directory, self._fragment(), lsn=10)
+        write_checkpoint(directory, self._fragment(), lsn=20)
+        with open(checkpoint_path(directory, 20), "w") as handle:
+            handle.write("<not a checkpoint")  # corrupt the newest
+
+        lsn, root, skipped = latest_checkpoint(directory)
+        assert lsn == 10 and root is not None and skipped == 1
+
+    def test_latest_with_no_checkpoints(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path)) == (0, None, 0)
+
+    def test_load_rejects_wrong_envelope(self, tmp_path):
+        path = str(tmp_path / "checkpoint-000000000001.xml")
+        with open(path, "w") as handle:
+            handle.write("<usRegion id='NE'/>")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        directory = str(tmp_path)
+        for lsn in (1, 2, 3, 4):
+            write_checkpoint(directory, self._fragment(), lsn=lsn)
+        removed = prune_checkpoints(directory, keep=2)
+        assert removed == 2
+        assert [lsn for lsn, _ in list_checkpoints(directory)] == [3, 4]

@@ -630,3 +630,96 @@ class TestCorruptionDetection:
         city.append(rogue)
         problems = structural_violations(paper_cluster.database("top"))
         assert any("duplicate sibling id" in p for p in problems)
+
+
+class TestKillRestartChaos:
+    """Agent-level process death composed with the circuit breakers.
+
+    The transport-level crash()/recover() schedule keeps the victim's
+    memory alive; kill_agent/restart_agent destroy it and bring it
+    back through the durability subsystem -- so the half-open probe
+    that re-opens a circuit lands on a *freshly recovered* site, and
+    the answer it carries must still match the pre-kill baseline.
+    """
+
+    def _durable_chaos_cluster(self, tmp_path, breaker_clock):
+        from repro.durability import DurabilityConfig
+
+        network = FaultyNetwork(LoopbackNetwork(), seed=11)
+        cluster = Cluster(
+            parse_fragment(PAPER_DOCUMENT), PartitionPlan(PAPER_PLAN),
+            network=network,
+            durability=DurabilityConfig(
+                directory=str(tmp_path / "durability"), sync_every=0),
+            clock=lambda: 1000.0,
+            oa_config=OAConfig(
+                retry_policy=fast_retries(max_attempts=1),
+                breaker=BreakerPolicy(failure_threshold=2,
+                                      reset_timeout=30.0,
+                                      clock=breaker_clock)))
+        cluster.bind_lifecycle(network)
+        return cluster, network
+
+    def test_half_open_probe_hits_recovered_site(self, tmp_path):
+        clock = {"now": 0.0}
+        cluster, network = self._durable_chaos_cluster(
+            tmp_path, lambda: clock["now"])
+        # Baseline straight from the owner -- leaving top's cache cold
+        # so its gathers genuinely need the (soon-dead) site.
+        baseline, _, outcome = cluster.query(SHADY_BLOCK, at_site="shady")
+        assert outcome.complete
+        shady_before = cluster.database("shady")
+        from repro.durability import partition_fingerprint
+
+        fingerprint = partition_fingerprint(shady_before)
+
+        # Process death: transport severed AND agent state destroyed.
+        network.kill_agent("shady")
+        for _ in range(2):  # trip top's breaker for shady
+            _, _, degraded = cluster.query(SHADY_BLOCK, at_site="top")
+            assert not degraded.complete
+        top = cluster.agent("top")
+        assert top.health_snapshot()["shady"]["state"] == OPEN
+
+        # While the circuit is open the dead site sees zero traffic.
+        _, _, still_open = cluster.query(SHADY_BLOCK, at_site="top")
+        assert not still_open.complete
+        assert top.stats["circuit_fast_fails"] >= 1
+
+        # Recovery from WAL + checkpoint, then the reset timeout
+        # elapses: the half-open probe lands on the recovered site.
+        network.restart_agent("shady")
+        assert partition_fingerprint(
+            cluster.database("shady")) == fingerprint
+        clock["now"] = 31.0
+        results, _, healed = cluster.query(SHADY_BLOCK, at_site="top")
+        assert healed.complete
+        assert answer_set(results) == answer_set(baseline)
+        assert top.health_snapshot()["shady"]["state"] == CLOSED
+        assert network.fault_stats["agent_kills"] == 1
+        assert network.fault_stats["agent_restarts"] == 1
+        cluster.shutdown()
+
+    def test_probe_against_still_dead_site_reopens(self, tmp_path):
+        clock = {"now": 0.0}
+        cluster, network = self._durable_chaos_cluster(
+            tmp_path, lambda: clock["now"])
+        network.kill_agent("oak")
+        for _ in range(2):
+            cluster.query(FIGURE2_QUERY, at_site="top")
+        top = cluster.agent("top")
+        assert top.health_snapshot()["oak"]["state"] == OPEN
+
+        clock["now"] = 31.0  # probe fires -- but oak is still dead
+        _, _, outcome = cluster.query(FIGURE2_QUERY, at_site="top")
+        assert not outcome.complete
+        assert top.health_snapshot()["oak"]["state"] == OPEN
+        assert top.health_snapshot()["oak"]["probes"] >= 1
+
+        # A later probe after recovery heals the circuit.
+        network.restart_agent("oak")
+        clock["now"] = 62.0
+        _, _, healed = cluster.query(FIGURE2_QUERY, at_site="top")
+        assert healed.complete
+        assert top.health_snapshot()["oak"]["state"] == CLOSED
+        cluster.shutdown()
