@@ -12,8 +12,10 @@ answers and the seeded :class:`FaultyNetwork` -- lives in
 from repro.net.cluster import Cluster
 from repro.net.continuous import ContinuousQueryManager, Subscription
 from repro.net.dns import DnsRecord, DnsResolver, DnsServer
+from repro.net.aioruntime import AsyncSiteServer, PipelinedTcpNetwork
 from repro.net.errors import (
     CircuitOpenError,
+    FrameTooLarge,
     MessageError,
     MigrationError,
     NameNotFound,
@@ -22,6 +24,7 @@ from repro.net.errors import (
     UnknownSite,
 )
 from repro.net.faults import FaultyNetwork, InjectedFault, SiteDown
+from repro.net.framing import FrameAssembler, FrameReader
 from repro.net.messages import (
     AckMessage,
     AdoptMessage,
@@ -68,6 +71,10 @@ __all__ = [
     "TcpCluster",
     "TcpNetwork",
     "TcpSiteServer",
+    "AsyncSiteServer",
+    "PipelinedTcpNetwork",
+    "FrameAssembler",
+    "FrameReader",
     "TrafficLog",
     "FaultyNetwork",
     "InjectedFault",
@@ -91,6 +98,7 @@ __all__ = [
     "run_concurrent_clients",
     "ClientWorkloadResult",
     "NetError",
+    "FrameTooLarge",
     "NameNotFound",
     "UnknownSite",
     "MessageError",

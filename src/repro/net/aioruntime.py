@@ -1,0 +1,766 @@
+"""Reactor TCP runtime: one event loop per site, pipelined clients.
+
+The threaded runtime (:mod:`repro.net.tcpruntime`) spends one OS
+thread per connection, which caps a site at a few hundred sockets and
+pays a scheduler wake-up per frame.  This module serves the *same*
+agents, speaking the *same* wire format, from a single
+:mod:`asyncio` event loop per site:
+
+:class:`AsyncSiteServer`
+    a reactor hosting one organizing agent.  The loop owns every
+    socket; frames are decoded incrementally
+    (:class:`~repro.net.framing.FrameAssembler`), admission-checked by
+    the same bounded :class:`~repro.net.tcpruntime.AdmissionGate` the
+    threaded server uses, and handed to a small worker pool that runs
+    ``handle_message`` under the agent lock.  Replies are written back
+    from the loop as they complete -- out of order across a pipelined
+    connection, matched by the ``replyTo`` correlation id already in
+    the envelope.  Read-side backpressure: when the admission queue
+    crosses its high watermark the loop pauses reading on the
+    connections producing the load (``pause_reading``), resuming at
+    the low watermark; past ``max_pending`` the request is still shed
+    with the retryable ``server-overloaded`` error, so PR 3's backoff
+    composes unchanged.
+
+:class:`PipelinedTcpNetwork`
+    the synchronous client shim.  It subclasses
+    :class:`~repro.net.tcpruntime.TcpNetwork` -- same ``request``/
+    ``tell`` interface, same retry/breaker/tracing layers above it --
+    but multiplexes many in-flight exchanges over a few long-lived
+    connections per site: each request registers a waiter keyed by its
+    ``message_id``, frames go out back-to-back, and a per-connection
+    reader thread routes each reply to its waiter by the ``replyTo``
+    it carries.  A reply with no usable correlation id (an old or
+    foreign peer speaking strictly serial framing) is handed to the
+    oldest outstanding waiter and the connection drops to serial mode
+    for good -- the compatibility fallback.  With ``pipelining=False``
+    the class degrades to the inherited serial exchange, byte- and
+    ordering-identical to the threaded client.
+
+Either side composes with the other runtime freely: a pipelined
+client against the threaded server simply sees in-order replies, and a
+serial client against the reactor has one frame in flight at a time.
+"""
+
+import asyncio
+import logging
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.net.errors import FrameTooLarge, NetError
+from repro.net.framing import FrameAssembler, FrameReader, encode_frame
+from repro.net.messages import (
+    ErrorMessage,
+    Message,
+    peek_message_id,
+    peek_reply_to,
+)
+from repro.net.tcpruntime import AdmissionGate, TcpNetwork, _close_quietly
+from repro.obs.tracing import TRACER, attach_context
+
+logger = logging.getLogger(__name__)
+
+
+class _SiteProtocol(asyncio.Protocol):
+    """One accepted connection on the reactor."""
+
+    __slots__ = ("server", "assembler", "transport", "paused", "closing")
+
+    def __init__(self, server):
+        self.server = server
+        self.assembler = FrameAssembler()
+        self.transport = None
+        self.paused = False
+        self.closing = False
+
+    def connection_made(self, transport):
+        self.transport = transport
+        self.server._register_protocol(self)
+
+    def connection_lost(self, exc):
+        self.closing = True
+        self.server._unregister_protocol(self)
+
+    def data_received(self, data):
+        try:
+            payloads = self.assembler.feed(data)
+        except FrameTooLarge as exc:
+            self.server._shed_oversized(self, exc)
+            return
+        for payload in payloads:
+            self.server._dispatch(self, payload)
+
+
+class AsyncSiteServer:
+    """One site's OA behind a reactor: a single event loop, thousands
+    of sockets, a bounded handler pool.
+
+    Drop-in lifecycle-compatible with
+    :class:`~repro.net.tcpruntime.TcpSiteServer` (``start`` /
+    ``begin_drain`` / ``wait_drained`` / ``stop`` / ``server_stats`` /
+    ``address``), so :class:`~repro.net.tcpruntime.TcpCluster`,
+    durability drain and the chaos kill/restart path drive it
+    unchanged.
+
+    The loop thread only moves bytes: framing, admission, backpressure
+    and reply writes.  Decoding, ``handle_message`` (under the agent
+    lock, mirroring one-OA-per-site) and encoding run on
+    ``handler_workers`` pool threads, so a slow handler never stalls
+    frame intake on other connections.  ``pause_watermark`` /
+    ``resume_watermark`` (defaults: 3/4 and 1/4 of ``max_pending``)
+    bound how deep the admitted queue grows before the reactor stops
+    *reading* from the offending connections -- backpressure that
+    reaches the peer through TCP flow control instead of unbounded
+    buffering, while overload past ``max_pending`` still answers the
+    retryable ``server-overloaded`` error.
+    """
+
+    def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64,
+                 handler_workers=2, pause_watermark=None,
+                 resume_watermark=None, wan_rtt=0.0):
+        from repro.obs.registry import Gauge
+
+        self.agent = agent
+        #: Emulated wide-area round-trip time per request (seconds),
+        #: mirroring :class:`~repro.net.tcpruntime.TcpSiteServer`'s
+        #: knob.  On the reactor the delay is a ``call_later`` timer --
+        #: no thread sleeps, so pipelined frames keep streaming in and
+        #: their delays overlap, exactly as propagation delays overlap
+        #: on a real wide-area pipe.
+        self.wan_rtt = wan_rtt
+        self.agent_lock = threading.Lock()
+        self.host = host
+        self._requested_port = port
+        self.max_pending = max_pending
+        site = getattr(agent, "site_id", "site")
+        self.site_id = site
+        self.queue_depth = Gauge(f"{site}.queue_depth")
+        self.open_connections = Gauge(f"{site}.open_connections")
+        self.gate = AdmissionGate(max_pending, self.queue_depth)
+        if pause_watermark is None:
+            pause_watermark = max(1, (max_pending * 3) // 4)
+        if resume_watermark is None:
+            resume_watermark = max(0, max_pending // 4)
+        if resume_watermark >= pause_watermark:
+            resume_watermark = pause_watermark - 1
+        self.pause_watermark = pause_watermark
+        self.resume_watermark = resume_watermark
+        self._pool = ThreadPoolExecutor(
+            max_workers=handler_workers,
+            thread_name_prefix=f"reactor-{site}")
+        self._loop = None
+        self._server = None
+        self._thread = None
+        self._address = None
+        self._ready = threading.Event()
+        self._startup_error = None
+        self._protocols = set()   # loop-confined
+        self._paused = set()      # loop-confined
+        self.reactor_stats = {
+            "connections_accepted": 0, "frames_in": 0, "replies_out": 0,
+            "read_pauses": 0, "read_resumes": 0, "oversized_frames": 0,
+            "max_connections": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self):
+        self._thread = threading.Thread(target=self._run_loop, daemon=True)
+        self._thread.start()
+        self._ready.wait(10.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self._address is None:
+            raise NetError(f"reactor for {self.site_id!r} failed to start")
+        return self
+
+    def _run_loop(self):
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._server = loop.run_until_complete(loop.create_server(
+                lambda: _SiteProtocol(self), self.host,
+                self._requested_port))
+            self._address = self._server.sockets[0].getsockname()[:2]
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            try:
+                loop.run_until_complete(self._server.wait_closed())
+            except RuntimeError:
+                pass
+            loop.close()
+
+    @property
+    def address(self):
+        return self._address
+
+    @property
+    def draining(self):
+        return self.gate.draining
+
+    @property
+    def stats(self):
+        return self.gate.stats
+
+    def _call_on_loop(self, fn, timeout=5.0):
+        """Run *fn* on the loop thread and wait for it (no-op when the
+        loop is already gone)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        done = threading.Event()
+
+        def runner():
+            try:
+                fn()
+            finally:
+                done.set()
+
+        try:
+            loop.call_soon_threadsafe(runner)
+        except RuntimeError:
+            return
+        done.wait(timeout)
+
+    def begin_drain(self):
+        """Stop accepting; shed new requests; let in-flight finish."""
+        self.gate.begin_drain()
+        self._call_on_loop(lambda: self._server.close())
+
+    def wait_drained(self, timeout=5.0):
+        """Block until in-flight requests finished, then flush the WAL."""
+        drained = self.gate.wait_idle(timeout)
+        if getattr(self.agent, "durability", None) is not None:
+            self.agent.durability.flush()
+        return drained
+
+    def stop(self, drain=True, timeout=5.0):
+        """Tear the reactor down; graceful by default, abrupt for chaos.
+
+        Without *drain*, established connections are aborted (a process
+        kill severs them too -- peers must not keep talking to a zombie
+        of the killed agent), queued work is cancelled, and the loop
+        stops immediately.
+        """
+        if drain:
+            self.begin_drain()
+            self.wait_drained(timeout)
+
+        def teardown():
+            self._server.close()
+            for proto in list(self._protocols):
+                if proto.transport is not None:
+                    proto.transport.abort()
+            self._protocols.clear()
+            self._paused.clear()
+            self._loop.stop()
+
+        self._call_on_loop(teardown)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection bookkeeping (loop thread) ---------------------------
+    def _register_protocol(self, proto):
+        self._protocols.add(proto)
+        self.reactor_stats["connections_accepted"] += 1
+        count = len(self._protocols)
+        if count > self.reactor_stats["max_connections"]:
+            self.reactor_stats["max_connections"] = count
+        self.open_connections.set(count)
+
+    def _unregister_protocol(self, proto):
+        self._protocols.discard(proto)
+        self._paused.discard(proto)
+        self.open_connections.set(len(self._protocols))
+
+    # -- backpressure (loop thread) -------------------------------------
+    def _maybe_pause(self, proto):
+        if proto.paused or proto.closing:
+            return
+        if self.gate.pending >= self.pause_watermark:
+            try:
+                proto.transport.pause_reading()
+            except RuntimeError:
+                return
+            proto.paused = True
+            self._paused.add(proto)
+            self.reactor_stats["read_pauses"] += 1
+
+    def _maybe_resume(self):
+        if not self._paused or self.gate.pending > self.resume_watermark:
+            return
+        for proto in list(self._paused):
+            if not proto.closing and proto.transport is not None:
+                try:
+                    proto.transport.resume_reading()
+                    self.reactor_stats["read_resumes"] += 1
+                except RuntimeError:
+                    pass
+            proto.paused = False
+        self._paused.clear()
+
+    # -- request path ---------------------------------------------------
+    def _shed_oversized(self, proto, exc):
+        """Frame-too-large: structured refusal, then close (the stream
+        cannot be resynchronised past a lying length prefix)."""
+        self.reactor_stats["oversized_frames"] += 1
+        reply = ErrorMessage(0, code="frame-too-large", detail=str(exc),
+                             retryable=False, sender=self.site_id)
+        if not proto.closing and proto.transport is not None:
+            proto.transport.write(encode_frame(reply.encode()))
+            proto.transport.close()
+        proto.closing = True
+
+    def _dispatch(self, proto, payload):
+        """Admission + hand-off for one frame (loop thread)."""
+        self.reactor_stats["frames_in"] += 1
+        if self.wan_rtt:
+            self._loop.call_later(self.wan_rtt, self._admit_and_run,
+                                  proto, payload)
+            return
+        self._admit_and_run(proto, payload)
+
+    def _admit_and_run(self, proto, payload):
+        if not self.gate.admit():
+            # Shed before decoding: the overload reply only needs the
+            # request's envelope id, peeked without an XML parse, so a
+            # melting site spends microseconds per rejected frame.
+            draining = self.gate.draining
+            reply = ErrorMessage(
+                peek_message_id(payload) or 0, code="server-overloaded",
+                detail=("draining for shutdown" if draining
+                        else "inbound queue full"),
+                retryable=True, sender=self.site_id)
+            if not proto.closing and proto.transport is not None:
+                proto.transport.write(encode_frame(reply.encode()))
+                if draining:
+                    # The rejection is the connection's last frame: the
+                    # pooled socket dies and the client re-dials
+                    # elsewhere (or fails fast) next time.
+                    proto.transport.close()
+                    proto.closing = True
+            return
+        self._maybe_pause(proto)
+        future = self._loop.run_in_executor(self._pool, self._process,
+                                            payload)
+        future.add_done_callback(
+            lambda fut, proto=proto: self._reply(proto, fut))
+
+    def _process(self, payload):
+        """Decode, handle, encode -- on a worker thread; returns the
+        framed reply bytes (``b""`` for reply-less messages).
+
+        Mirrors the threaded handler's error semantics exactly: an
+        undecodable frame or a handler crash is a structured reply,
+        never a dead socket.
+        """
+        try:
+            message = Message.decode(payload)
+        except Exception as exc:  # XmlParseError, MessageError, ...
+            logger.warning("site %r: undecodable frame: %s",
+                           self.site_id, exc)
+            reply = ErrorMessage(0, code="bad-message",
+                                 detail=f"{type(exc).__name__}: {exc}",
+                                 retryable=False, sender=self.site_id)
+            return encode_frame(reply.encode())
+        with TRACER.span("tcp-serve", site=self.site_id,
+                         remote_parent=message.trace_ctx) as serve_span:
+            try:
+                with self.agent_lock:
+                    reply = self.agent.handle_message(message)
+                    # Encoding stays under the lock: serializing the
+                    # reply touches shared site state (the
+                    # serialization-memo write-back), so it must not
+                    # race with another handler mutating the fragment.
+                    out = reply.encode() if reply is not None else ""
+            except Exception as exc:
+                logger.exception("site %r: handler failed on %s",
+                                 self.site_id, type(message).__name__)
+                reply = ErrorMessage(message.message_id,
+                                     code="handler-error",
+                                     detail=f"{type(exc).__name__}: {exc}",
+                                     retryable=False, sender=self.site_id)
+                attach_context(reply, serve_span)
+                out = reply.encode()
+        return encode_frame(out)
+
+    def _reply(self, proto, future):
+        """Write one completed reply (loop thread, via done-callback)."""
+        self.gate.release()
+        self._maybe_resume()
+        try:
+            data = future.result()
+        except Exception:  # _process never raises by design; belt+braces
+            logger.exception("site %r: reply pipeline failed", self.site_id)
+            return
+        if data and not proto.closing and proto.transport is not None \
+                and not proto.transport.is_closing():
+            proto.transport.write(data)
+            self.reactor_stats["replies_out"] += 1
+
+    # -- stats ----------------------------------------------------------
+    def server_stats(self):
+        """Queue/overload counters plus reactor-specific gauges."""
+        out = self.gate.snapshot()
+        out.update(self.reactor_stats)
+        out["open_connections"] = len(self._protocols)
+        out["pause_watermark"] = self.pause_watermark
+        out["resume_watermark"] = self.resume_watermark
+        return out
+
+
+class _Waiter:
+    """One in-flight pipelined request's parking spot."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload = None
+        self.error = None
+
+
+class _PipelinedConnection:
+    """One shared socket carrying many in-flight framed exchanges.
+
+    Senders register a :class:`_Waiter` under their request's
+    ``message_id``, write the frame (sends are serialized by a lock;
+    the frames themselves interleave freely on the wire) and block on
+    the waiter.  A dedicated reader thread pulls frames off the socket
+    (zero-copy :class:`~repro.net.framing.FrameReader`) and routes each
+    to its waiter by the ``replyTo`` correlation id.
+
+    Compatibility fallback: a reply with no usable correlation id --
+    an old peer speaking strictly serial framing, or a bare
+    ``replyTo="0"`` error for a frame the peer could not decode -- is
+    delivered to the *oldest* outstanding waiter, and the connection
+    flips to ``serial_only`` (one in-flight at a time) for the rest of
+    its life, which is exactly the regime such a peer assumes.
+
+    A waiter that times out is tombstoned: its late reply, should it
+    arrive, is dropped by id instead of tripping the serial fallback.
+    """
+
+    def __init__(self, sock, site_id, max_inflight, timeout):
+        self.sock = sock
+        self.site_id = site_id
+        self.timeout = timeout
+        self.reader = FrameReader(sock)
+        self.closed = False
+        self.serial_only = False
+        self.inflight = 0
+        self.max_inflight_seen = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._serial_lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(max_inflight)
+        self._pending = {}
+        self._order = []
+        self._abandoned = set()
+        self._thread = threading.Thread(
+            target=self._read_loop, daemon=True,
+            name=f"pipeline-{site_id}")
+        self._thread.start()
+
+    # -- sender side ----------------------------------------------------
+    def exchange(self, corr_id, encoded):
+        """One request/reply, pipelined; blocks only this caller."""
+        self._slots.acquire()
+        try:
+            if self.serial_only:
+                with self._serial_lock:
+                    return self._exchange_once(corr_id, encoded)
+            return self._exchange_once(corr_id, encoded)
+        finally:
+            self._slots.release()
+
+    def send_async(self, corr_id, encoded):
+        """Fire one request; returns the waiter (completion is the
+        reader thread setting its event).  The open-loop generator uses
+        this to hold hundreds of requests in flight from one thread."""
+        self._slots.acquire()
+        try:
+            return self._register_and_send(corr_id, encoded)
+        finally:
+            self._slots.release()
+
+    def _register_and_send(self, corr_id, encoded):
+        waiter = _Waiter()
+        with self._lock:
+            if self.closed:
+                raise NetError(
+                    f"pipelined connection to {self.site_id!r} is closed")
+            self._pending[corr_id] = waiter
+            self._order.append(corr_id)
+            self.inflight += 1
+            if self.inflight > self.max_inflight_seen:
+                self.max_inflight_seen = self.inflight
+        data = encode_frame(encoded)
+        try:
+            with self._send_lock:
+                self.sock.sendall(data)
+        except OSError:
+            self._forget(corr_id)
+            raise
+        return waiter
+
+    def _exchange_once(self, corr_id, encoded):
+        waiter = self._register_and_send(corr_id, encoded)
+        if not waiter.event.wait(self.timeout):
+            self._forget(corr_id, abandoned=True)
+            raise NetError(
+                f"pipelined reply from {self.site_id!r} timed out")
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.payload
+
+    def _forget(self, corr_id, abandoned=False):
+        with self._lock:
+            if self._pending.pop(corr_id, None) is not None:
+                self.inflight -= 1
+                if abandoned:
+                    self._abandoned.add(corr_id)
+            if not self._pending:
+                self._order.clear()
+                self._abandoned.clear()
+
+    # -- reader side ----------------------------------------------------
+    def _read_loop(self):
+        error = None
+        try:
+            while True:
+                payload = self.reader.recv_frame()
+                if payload is None:
+                    break  # clean close
+                self._deliver(peek_reply_to(payload), payload)
+        except (OSError, NetError) as exc:
+            error = exc
+        self._fail_all(error or NetError(
+            f"connection to {self.site_id!r} closed"))
+
+    def _deliver(self, corr_id, payload):
+        fell_back = False
+        with self._lock:
+            waiter = None
+            if corr_id is not None:
+                waiter = self._pending.pop(corr_id, None)
+                if waiter is None and corr_id in self._abandoned:
+                    self._abandoned.discard(corr_id)
+                    return  # late reply to a timed-out request: drop
+            if waiter is None:
+                # No usable correlation id: serial-peer fallback.
+                self.serial_only = True
+                fell_back = True
+                while self._order:
+                    oldest = self._order.pop(0)
+                    waiter = self._pending.pop(oldest, None)
+                    if waiter is not None:
+                        break
+            if waiter is not None:
+                self.inflight -= 1
+            if not self._pending:
+                self._order.clear()
+                self._abandoned.clear()
+        if waiter is not None:
+            waiter.payload = payload
+            waiter.event.set()
+        elif not fell_back:
+            logger.warning("pipeline to %r: unmatched reply dropped",
+                           self.site_id)
+        return fell_back
+
+    def _fail_all(self, error):
+        with self._lock:
+            self.closed = True
+            victims = list(self._pending.values())
+            self._pending.clear()
+            self._order.clear()
+            self._abandoned.clear()
+            self.inflight = 0
+        for waiter in victims:
+            waiter.error = error
+            waiter.event.set()
+        _close_quietly(self.sock)
+
+    def close(self):
+        self._fail_all(NetError(
+            f"pipelined connection to {self.site_id!r} closed locally"))
+
+
+class PipelinedTcpNetwork(TcpNetwork):
+    """A :class:`TcpNetwork` whose exchanges pipeline over shared
+    connections.
+
+    The synchronous ``request``/``tell`` surface -- and everything
+    stacked on it: retries, circuit breakers, fault injection wrappers,
+    tracing, traffic accounting -- is inherited unchanged; only the
+    wire occupancy model differs.  Up to ``connections_per_site``
+    long-lived connections carry at most ``max_inflight`` concurrent
+    frames each; when a pipelined exchange fails, the connection is
+    torn down (failing its other waiters fast, like a real reset) and
+    the exchange retries once on a fresh serial dial, mirroring the
+    pooled-socket retry of the serial client.
+
+    ``pipelining=False`` bypasses all of it and behaves exactly like
+    the parent class -- the parity configuration.
+    """
+
+    def __init__(self, addresses=None, timeout=10.0, count_bytes=True,
+                 max_idle_per_site=8, pipelining=True, max_inflight=32,
+                 connections_per_site=2):
+        super().__init__(addresses=addresses, timeout=timeout,
+                         count_bytes=count_bytes,
+                         max_idle_per_site=max_idle_per_site)
+        self.pipelining = pipelining
+        self.max_inflight = max_inflight
+        self.connections_per_site = connections_per_site
+        self._pipes = {}
+        self._pipe_lock = threading.Lock()
+        self.pool_stats.update({"pipelined": 0, "serial_fallbacks": 0,
+                                "pipeline_connects": 0,
+                                "pipeline_resets": 0,
+                                "max_inflight": 0})
+
+    # -- connection management ------------------------------------------
+    def _pipe_for(self, dst):
+        with self._pipe_lock:
+            conns = [c for c in self._pipes.get(dst, ()) if not c.closed]
+            self._pipes[dst] = conns
+            best = min(conns, key=lambda c: c.inflight, default=None)
+            if best is not None and (
+                    best.inflight < self.max_inflight
+                    or len(conns) >= self.connections_per_site):
+                return best
+        sock = self._dial(dst)
+        sock.settimeout(None)  # the reader blocks; waiters carry timeouts
+        conn = _PipelinedConnection(sock, dst, self.max_inflight,
+                                    self.timeout)
+        with self._pipe_lock:
+            conns = self._pipes.setdefault(dst, [])
+            if len(conns) >= self.connections_per_site:
+                # Lost a dial race; use the established one.
+                extra, conn = conn, min(conns, key=lambda c: c.inflight)
+                extra.close()
+            else:
+                conns.append(conn)
+                self.pool_stats["pipeline_connects"] += 1
+        return conn
+
+    def _drop_pipe(self, dst, conn):
+        conn.close()
+        with self._pipe_lock:
+            conns = self._pipes.get(dst)
+            if conns and conn in conns:
+                conns.remove(conn)
+            self.pool_stats["pipeline_resets"] += 1
+
+    def _note_inflight(self, conn):
+        with self._pipe_lock:
+            if conn.max_inflight_seen > self.pool_stats["max_inflight"]:
+                self.pool_stats["max_inflight"] = conn.max_inflight_seen
+
+    def pipeline_stats(self):
+        """Live pipeline gauges (per-site inflight and serial flags)."""
+        with self._pipe_lock:
+            return {
+                site: [{"inflight": conn.inflight,
+                        "serial_only": conn.serial_only,
+                        "max_inflight_seen": conn.max_inflight_seen}
+                       for conn in conns]
+                for site, conns in sorted(self._pipes.items()) if conns
+            }
+
+    # -- exchange -------------------------------------------------------
+    def _exchange(self, dst, encoded, message=None):
+        if not self.pipelining or message is None:
+            return super()._exchange(dst, encoded, message)
+        conn = self._pipe_for(dst)
+        serial_before = conn.serial_only
+        try:
+            payload = conn.exchange(message.message_id, encoded)
+        except (OSError, NetError):
+            self._drop_pipe(dst, conn)
+            # Mirror the serial client's stale-connection semantics:
+            # one retry on a fresh (serial) dial before surfacing.
+            return super()._exchange(dst, encoded, message)
+        with self._lock:
+            self.pool_stats["pipelined"] += 1
+            if conn.serial_only and not serial_before:
+                self.pool_stats["serial_fallbacks"] += 1
+        self._note_inflight(conn)
+        return payload
+
+    def request_async(self, src, dst, message, decode=True):
+        """Fire one request without blocking for the reply.
+
+        Returns a :class:`concurrent.futures.Future` resolving to the
+        decoded reply message (or the raw payload string with
+        ``decode=False``; ``None`` for an empty reply).  Completion
+        runs on the connection's reader thread.  This is what lets an
+        open-loop load generator hold hundreds of requests in flight
+        from a single dispatcher thread -- the thread-per-in-flight
+        cost of the serial client is the bottleneck it measures.
+        """
+        if not self.pipelining:
+            raise NetError("request_async requires pipelining")
+        for interceptor in self.interceptors:
+            interceptor(src, dst, message)
+        self.traffic.record(src, dst, message)
+        future = Future()
+        conn = self._pipe_for(dst)
+        try:
+            waiter = conn.send_async(message.message_id, message.encode())
+        except (OSError, NetError) as exc:
+            self._drop_pipe(dst, conn)
+            future.set_exception(exc)
+            return future
+        with self._lock:
+            self.pool_stats["pipelined"] += 1
+        self._note_inflight(conn)
+
+        original_set = waiter.event.set
+
+        def completed():
+            original_set()
+            if waiter.error is not None:
+                future.set_exception(waiter.error)
+                return
+            payload = waiter.payload
+            if not payload:
+                future.set_result(None)
+                return
+            if not decode:
+                future.set_result(payload)
+                return
+            try:
+                reply = Message.decode(payload)
+            except Exception as exc:
+                future.set_exception(exc)
+                return
+            self.traffic.record(dst, src, reply)
+            future.set_result(reply)
+
+        waiter.event.set = completed
+        # The reply may have raced ahead of the callback installation.
+        if waiter.event.is_set():
+            completed()
+        return future
+
+    def close(self):
+        """Close pipelined connections, then the inherited idle pool."""
+        with self._pipe_lock:
+            conns = [c for cs in self._pipes.values() for c in cs]
+            self._pipes.clear()
+        for conn in conns:
+            conn.close()
+        super().close()

@@ -17,6 +17,23 @@ class MessageError(NetError):
     """Raised when a message cannot be encoded or decoded."""
 
 
+class FrameTooLarge(NetError):
+    """A frame's length prefix exceeds the configured limit.
+
+    The stream cannot be resynchronised past a lying length prefix, so
+    the connection is closed after the structured ``frame-too-large``
+    error reply; ``length`` carries the offending size.
+    """
+
+    def __init__(self, length, limit=None):
+        detail = f"frame of {length} bytes exceeds the limit"
+        if limit is not None:
+            detail += f" ({limit})"
+        super().__init__(detail)
+        self.length = length
+        self.limit = limit
+
+
 class MigrationError(NetError):
     """Raised when an ownership migration cannot be carried out."""
 

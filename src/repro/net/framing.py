@@ -1,0 +1,212 @@
+"""Length-prefixed wire framing shared by both TCP runtimes.
+
+One frame is a 4-byte big-endian payload length followed by the UTF-8
+encoded XML envelope.  The format predates this module (it is what
+:mod:`repro.net.tcpruntime` has always spoken); the threaded runtime,
+the reactor runtime and the pipelined client all import it from here so
+the bytes on the wire stay identical no matter which runtime produced
+them.
+
+Two decoding surfaces cover the two I/O styles:
+
+:class:`FrameReader`
+    a *pull* decoder for blocking sockets.  It owns one reusable
+    ``bytearray`` receive buffer per connection and reads with
+    ``recv_into`` + ``memoryview`` slicing -- no per-chunk allocations,
+    no chunk-list concatenation -- so a connection serving thousands of
+    pipelined frames touches each byte once.
+
+:class:`FrameAssembler`
+    a *push* decoder for event-loop callbacks (``data_received`` hands
+    us whatever the kernel had): feed bytes in, get completed payloads
+    out, carrying partial frames across calls.
+
+Both raise :class:`~repro.net.errors.FrameTooLarge` (a ``NetError``)
+on an oversized length prefix, carrying the offending size so servers
+can answer with a structured ``frame-too-large`` error before closing.
+"""
+
+import struct
+
+from repro.net.errors import FrameTooLarge, NetError
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+#: Upper bound on one frame's payload.  Anything larger is a protocol
+#: violation (or an attack) -- the stream cannot be resynchronised past
+#: a lying length prefix, so the connection dies after the error reply.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(payload):
+    """*payload* (``str``) as one wire frame (header + UTF-8 bytes)."""
+    data = payload.encode("utf-8")
+    return _HEADER.pack(len(data)) + data
+
+
+def send_framed(sock, payload):
+    """Write one length-prefixed message."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_framed(sock):
+    """Read one length-prefixed message; ``None`` on a clean close.
+
+    Reads exactly one frame and not a byte more (callers may hand the
+    socket elsewhere afterwards); connection-lifetime readers should
+    hold a :class:`FrameReader` instead, which batches reads across
+    frames.
+    """
+    header = bytearray(HEADER_SIZE)
+    if not _recv_into_exactly(sock, header, eof_ok=True):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise FrameTooLarge(length)
+    if length == 0:
+        return ""
+    body = bytearray(length)
+    _recv_into_exactly(sock, body, eof_ok=False)
+    return body.decode("utf-8")
+
+
+def _recv_into_exactly(sock, buffer, eof_ok):
+    """Fill *buffer* from *sock*; ``False`` on a close before any byte
+    (only when *eof_ok*), :class:`NetError` on a close mid-way."""
+    with memoryview(buffer) as view:
+        filled = 0
+        while filled < len(buffer):
+            count = sock.recv_into(view[filled:])
+            if count == 0:
+                if filled == 0 and eof_ok:
+                    return False
+                raise NetError("connection closed mid-frame")
+            filled += count
+    return True
+
+
+class FrameReader:
+    """Zero-copy frame decoding for one blocking socket.
+
+    The reader owns a single growable receive buffer; ``recv_into``
+    lands bytes directly in it and completed payloads are decoded from
+    ``memoryview`` slices.  Bytes beyond the current frame stay
+    buffered for the next call, which is what makes pipelining cheap:
+    a burst of N frames arrives in O(syscalls), not O(N) of them.
+    """
+
+    def __init__(self, sock, limit=MAX_MESSAGE_BYTES, initial_capacity=65536):
+        self._sock = sock
+        self.limit = limit
+        self._buffer = bytearray(max(int(initial_capacity), HEADER_SIZE))
+        self._start = 0  # first unconsumed byte
+        self._end = 0    # one past the last filled byte
+
+    def buffered(self):
+        """Bytes received but not yet consumed (tests/introspection)."""
+        return self._end - self._start
+
+    def _reserve(self, needed):
+        """Make room for *needed* unconsumed bytes starting at
+        ``_start`` by compacting (memmove via slice assignment on the
+        same bytearray -- no new allocation) and, only when the frame
+        outgrows the buffer, growing it."""
+        pending = self._end - self._start
+        if self._start and (self._start + needed > len(self._buffer)
+                            or self._end == len(self._buffer)):
+            self._buffer[:pending] = self._buffer[self._start:self._end]
+            self._start, self._end = 0, pending
+        if needed > len(self._buffer):
+            self._buffer.extend(bytes(needed - len(self._buffer)))
+
+    def _ensure(self, needed, eof_ok):
+        """Block until *needed* unconsumed bytes are buffered."""
+        while self._end - self._start < needed:
+            self._reserve(needed)
+            with memoryview(self._buffer) as view:
+                count = self._sock.recv_into(view[self._end:])
+            if count == 0:
+                if self._end == self._start and eof_ok:
+                    return False
+                raise NetError("connection closed mid-frame")
+            self._end += count
+        return True
+
+    def recv_frame(self):
+        """One payload string; ``None`` on a clean close at a frame
+        boundary; :class:`NetError` on a mid-frame close."""
+        if not self._ensure(HEADER_SIZE, eof_ok=True):
+            return None
+        (length,) = _HEADER.unpack_from(self._buffer, self._start)
+        if length > self.limit:
+            raise FrameTooLarge(length)
+        self._start += HEADER_SIZE
+        if length == 0:
+            payload = ""
+        else:
+            self._ensure(length, eof_ok=False)
+            with memoryview(self._buffer) as view:
+                payload = str(view[self._start:self._start + length],
+                              "utf-8")
+            self._start += length
+        if self._start == self._end:
+            self._start = self._end = 0
+        return payload
+
+
+class FrameAssembler:
+    """Push-style frame decoding for event-loop data callbacks.
+
+    ``feed(data)`` returns every payload completed by *data* (possibly
+    none) and keeps the partial tail buffered.  Consumed prefixes are
+    reclaimed lazily so a long-lived connection does not shift bytes
+    on every frame.
+    """
+
+    _RECLAIM_THRESHOLD = 1 << 16
+
+    def __init__(self, limit=MAX_MESSAGE_BYTES):
+        self.limit = limit
+        self._buffer = bytearray()
+        self._offset = 0
+        self._frame_length = None  # header parsed, body incomplete
+
+    def buffered(self):
+        return len(self._buffer) - self._offset
+
+    def feed(self, data):
+        """Append *data*; return the list of completed payloads.
+
+        Raises :class:`FrameTooLarge` as soon as an oversized length
+        prefix is parsed -- before waiting for (or buffering) the
+        impossible body.
+        """
+        self._buffer += data
+        payloads = []
+        while True:
+            available = len(self._buffer) - self._offset
+            if self._frame_length is None:
+                if available < HEADER_SIZE:
+                    break
+                (self._frame_length,) = _HEADER.unpack_from(
+                    self._buffer, self._offset)
+                if self._frame_length > self.limit:
+                    raise FrameTooLarge(self._frame_length)
+                self._offset += HEADER_SIZE
+                available -= HEADER_SIZE
+            if available < self._frame_length:
+                break
+            with memoryview(self._buffer) as view:
+                payloads.append(str(
+                    view[self._offset:self._offset + self._frame_length],
+                    "utf-8"))
+            self._offset += self._frame_length
+            self._frame_length = None
+        if self._offset == len(self._buffer):
+            del self._buffer[:]
+            self._offset = 0
+        elif self._offset > self._RECLAIM_THRESHOLD:
+            del self._buffer[:self._offset]
+            self._offset = 0
+        return payloads

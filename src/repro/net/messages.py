@@ -627,6 +627,49 @@ class AdoptMessage(Message):
                 f"sender={self.sender!r}{self._repr_size()})")
 
 
+def _peek_envelope_int(text, attr):
+    """An integer attribute of the envelope's opening tag, or ``None``.
+
+    A plain string scan -- no XML parse -- bounded to the first ``>``,
+    which (attribute values being escaped by our serializer) closes the
+    envelope tag.  Used on hot paths that must correlate or shed frames
+    without paying for a full decode: the pipelined client matching
+    replies, and the reactor's overload shedding.
+    """
+    end = text.find(">")
+    head = text if end == -1 else text[:end]
+    needle = f' {attr}="'
+    position = head.find(needle)
+    if position == -1:
+        return None
+    position += len(needle)
+    stop = head.find('"', position)
+    if stop == -1:
+        return None
+    try:
+        return int(head[position:stop])
+    except ValueError:
+        return None
+
+
+def peek_message_id(text):
+    """The encoded message's ``id`` without decoding it (or ``None``)."""
+    return _peek_envelope_int(text, "id")
+
+
+def peek_reply_to(text):
+    """The encoded reply's correlation id without decoding it.
+
+    Every reply kind (answer, batch-answer, error, ack) carries
+    ``replyTo`` -- the id of the request it answers -- so a pipelined
+    connection can route a frame to its waiter before (and without)
+    parsing the XML.  ``None`` marks a frame with no correlation id
+    (e.g. a bare error for an undecodable request): the caller falls
+    back to serial, oldest-first delivery.
+    """
+    return _peek_envelope_int(text, "replyTo")
+
+
 def clean_results(results):
     """Strip system attributes from a result list (defensive copy)."""
     cleaned = []

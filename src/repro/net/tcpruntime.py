@@ -14,62 +14,107 @@ of which transport carries them.
 """
 
 import logging
+import select
 import socket
 import socketserver
-import struct
 import threading
+import time
 
-from repro.net.errors import NetError, UnknownSite
+from repro.net.errors import FrameTooLarge, NetError, UnknownSite
+from repro.net.framing import (  # noqa: F401  (re-exported: the framing
+    MAX_MESSAGE_BYTES,           # helpers lived here before repro.net.framing
+    FrameReader,                 # existed, and callers still import them
+    recv_framed,                 # from this module)
+    send_framed,
+)
 from repro.net.messages import ErrorMessage, Message
 from repro.net.transport import TrafficLog
 from repro.obs.tracing import TRACER, attach_context
 
 logger = logging.getLogger(__name__)
 
-_HEADER = struct.Struct(">I")
-MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
+class AdmissionGate:
+    """Bounded inbound admission, shared by both server runtimes.
 
-def send_framed(sock, payload):
-    """Write one length-prefixed message."""
-    data = payload.encode("utf-8")
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    At most *max_pending* requests may be admitted (decoded/queued on
+    or holding the agent lock) at once; :meth:`admit` returns ``False``
+    beyond that -- the caller sheds the request with a retryable
+    ``server-overloaded`` error.  :meth:`begin_drain` flips admission
+    off permanently (graceful shutdown); :meth:`wait_idle` blocks until
+    every admitted request has been released.  The live depth is pushed
+    into *gauge* (an obs :class:`~repro.obs.registry.Gauge`), which is
+    also what the reactor runtime's read-pause watermarks key off.
+    """
 
+    def __init__(self, max_pending, gauge=None):
+        self.max_pending = max_pending
+        self.gauge = gauge
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._draining = False
+        self._idle = threading.Event()
+        self._idle.set()
+        self.stats = {"admitted": 0, "overload_rejections": 0,
+                      "drain_rejections": 0, "max_queue_depth": 0}
 
-def recv_framed(sock):
-    """Read one length-prefixed message; ``None`` on a clean close."""
-    header = _recv_exactly(sock, _HEADER.size)
-    if header is None:
-        return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_MESSAGE_BYTES:
-        raise NetError(f"frame of {length} bytes exceeds the limit")
-    if length == 0:
-        return ""
-    data = _recv_exactly(sock, length)
-    if data is None:
-        raise NetError("connection closed mid-frame")
-    return data.decode("utf-8")
+    @property
+    def draining(self):
+        return self._draining
 
+    @property
+    def pending(self):
+        with self._lock:
+            return self._pending
 
-def _recv_exactly(sock, count):
-    """Read exactly *count* bytes; ``None`` on a close before any byte."""
-    chunks = []
-    remaining = count
-    while remaining > 0:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks:
-                return None
-            raise NetError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    def admit(self):
+        """Take one slot of the bounded inbound queue (False = shed)."""
+        with self._lock:
+            if self._draining:
+                self.stats["drain_rejections"] += 1
+                return False
+            if self._pending >= self.max_pending:
+                self.stats["overload_rejections"] += 1
+                return False
+            self._pending += 1
+            self._idle.clear()
+            self.stats["admitted"] += 1
+            if self._pending > self.stats["max_queue_depth"]:
+                self.stats["max_queue_depth"] = self._pending
+            if self.gauge is not None:
+                self.gauge.set(self._pending)
+            return True
+
+    def release(self):
+        """Give an admitted request's slot back; returns the new depth."""
+        with self._lock:
+            self._pending -= 1
+            if self.gauge is not None:
+                self.gauge.set(self._pending)
+            if self._pending == 0:
+                self._idle.set()
+            return self._pending
+
+    def begin_drain(self):
+        with self._lock:
+            self._draining = True
+
+    def wait_idle(self, timeout=None):
+        return self._idle.wait(timeout)
+
+    def snapshot(self):
+        with self._lock:
+            out = dict(self.stats)
+            out["queue_depth"] = self._pending
+            out["max_pending"] = self.max_pending
+            out["draining"] = self._draining
+            return out
 
 
 class _AgentRequestHandler(socketserver.BaseRequestHandler):
     def setup(self):
         self.server.track_connection(self.request)
+        self.reader = FrameReader(self.request)
 
     def finish(self):
         self.server.untrack_connection(self.request)
@@ -77,11 +122,29 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
     def handle(self):
         while True:
             try:
-                payload = recv_framed(self.request)
+                payload = self.reader.recv_frame()
+            except FrameTooLarge as exc:
+                # An oversized length prefix is unrecoverable (the
+                # stream cannot be resynchronised past it), but the
+                # pooled client deserves a structured refusal rather
+                # than a bare reset it cannot attribute.  Reply, then
+                # close.
+                self.server.count_oversized()
+                reply = ErrorMessage(
+                    0, code="frame-too-large",
+                    detail=str(exc), retryable=False,
+                    sender=getattr(self.server.agent, "site_id", None))
+                try:
+                    send_framed(self.request, reply.encode())
+                except OSError:
+                    pass
+                return
             except NetError:
                 return
             if payload is None:
                 return
+            if self.server.wan_rtt:
+                time.sleep(self.server.wan_rtt)
             close_after_reply = False
             message = None
             try:
@@ -187,11 +250,22 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64):
+    def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64,
+                 wan_rtt=0.0):
         super().__init__((host, port), _AgentRequestHandler)
         from repro.obs.registry import Gauge
 
         self.agent = agent
+        #: Emulated wide-area round-trip time per request (seconds).
+        #: Everything in this repo runs on localhost, but the paper's
+        #: deployment target is wide-area links where each framed
+        #: exchange pays tens of milliseconds of propagation.  With
+        #: ``wan_rtt`` set, the handler sleeps that long between
+        #: reading a request and processing it -- on this runtime the
+        #: delay occupies the connection's thread, exactly as a real
+        #: WAN occupies the connection (the serial framing protocol
+        #: allows one outstanding frame per connection either way).
+        self.wan_rtt = wan_rtt
         # The loopback runtime serializes each site with a lock; the
         # TCP runtime does the same, mirroring one-OA-per-site.
         self.agent_lock = threading.Lock()
@@ -199,15 +273,14 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
         self.max_pending = max_pending
         site = getattr(agent, "site_id", "site")
         self.queue_depth = Gauge(f"{site}.queue_depth")
-        self._admission_lock = threading.Lock()
-        self._pending = 0
-        self._draining = False
-        self._idle = threading.Event()
-        self._idle.set()
+        self.gate = AdmissionGate(max_pending, self.queue_depth)
         self._connections = set()
         self._connections_lock = threading.Lock()
-        self.stats = {"admitted": 0, "overload_rejections": 0,
-                      "drain_rejections": 0, "max_queue_depth": 0}
+        self._oversized_frames = 0
+
+    @property
+    def stats(self):
+        return self.gate.stats
 
     @property
     def address(self):
@@ -215,7 +288,7 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
 
     @property
     def draining(self):
-        return self._draining
+        return self.gate.draining
 
     # -- connection tracking (for crash-style teardown) -----------------
     def track_connection(self, sock):
@@ -240,36 +313,19 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
     # -- admission ------------------------------------------------------
     def admit(self):
         """Take one slot of the bounded inbound queue (False = shed)."""
-        with self._admission_lock:
-            if self._draining:
-                self.stats["drain_rejections"] += 1
-                return False
-            if self._pending >= self.max_pending:
-                self.stats["overload_rejections"] += 1
-                return False
-            self._pending += 1
-            self._idle.clear()
-            self.stats["admitted"] += 1
-            if self._pending > self.stats["max_queue_depth"]:
-                self.stats["max_queue_depth"] = self._pending
-            self.queue_depth.set(self._pending)
-            return True
+        return self.gate.admit()
 
     def release(self):
-        with self._admission_lock:
-            self._pending -= 1
-            self.queue_depth.set(self._pending)
-            if self._pending == 0:
-                self._idle.set()
+        self.gate.release()
+
+    def count_oversized(self):
+        self._oversized_frames += 1
 
     def server_stats(self):
         """Queue/overload counters for the metrics registry."""
-        with self._admission_lock:
-            out = dict(self.stats)
-            out["queue_depth"] = self._pending
-            out["max_pending"] = self.max_pending
-            out["draining"] = self._draining
-            return out
+        out = self.gate.snapshot()
+        out["oversized_frames"] = self._oversized_frames
+        return out
 
     # -- lifecycle ------------------------------------------------------
     def start(self):
@@ -280,8 +336,7 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
 
     def begin_drain(self):
         """Stop accepting; shed new requests; let in-flight finish."""
-        with self._admission_lock:
-            self._draining = True
+        self.gate.begin_drain()
         self.shutdown()  # stops the accept loop (idempotent)
 
     def wait_drained(self, timeout=5.0):
@@ -291,7 +346,7 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
         (the WAL is flushed either way -- a hung request must not keep
         acknowledged mutations off the disk).
         """
-        drained = self._idle.wait(timeout)
+        drained = self.gate.wait_idle(timeout)
         if getattr(self.agent, "durability", None) is not None:
             self.agent.durability.flush()
         return drained
@@ -326,6 +381,23 @@ def _close_quietly(sock):
         pass
 
 
+def _socket_is_dead(sock):
+    """Whether an *idle* pooled socket has been abandoned by its peer.
+
+    A healthy idle connection has nothing to read.  Readability
+    therefore means either EOF (the peer closed or crashed -- the
+    half-open case) or stray bytes no request is waiting for (protocol
+    garbage); both poison the socket for the next exchange, so it is
+    recycled instead of handed out.  The zero-timeout ``select`` makes
+    this a single cheap syscall on checkout.
+    """
+    try:
+        readable, _, _ = select.select([sock], [], [], 0)
+    except (OSError, ValueError):
+        return True
+    return bool(readable)
+
+
 class TcpNetwork:
     """Message delivery over TCP, given a site -> address map.
 
@@ -353,7 +425,7 @@ class TcpNetwork:
         self._lock = threading.Lock()
         self._closed = False
         self.pool_stats = {"connects": 0, "reuses": 0, "discarded": 0,
-                           "send_failures": 0}
+                           "stale_evictions": 0, "send_failures": 0}
 
     def register_address(self, site_id, address):
         self.addresses[site_id] = address
@@ -371,13 +443,28 @@ class TcpNetwork:
         return sock
 
     def _checkout(self, site_id):
-        """An idle pooled socket (reused=True) or a fresh dial."""
-        with self._lock:
-            stack = self._idle.get(site_id)
-            if stack:
+        """An idle pooled socket (reused=True) or a fresh dial.
+
+        Pooled sockets get a zero-cost liveness check first: a peer
+        that crashed (or drained) while the connection idled leaves a
+        half-open socket that would otherwise only surface as a reset
+        mid-request.  Dead sockets are evicted and counted
+        (``pool_stats["stale_evictions"]``), never handed out.
+        """
+        while True:
+            with self._lock:
+                stack = self._idle.get(site_id)
+                sock = stack.pop() if stack else None
+            if sock is None:
+                return self._dial(site_id), False
+            if _socket_is_dead(sock):
+                with self._lock:
+                    self.pool_stats["stale_evictions"] += 1
+                _close_quietly(sock)
+                continue
+            with self._lock:
                 self.pool_stats["reuses"] += 1
-                return stack.pop(), True
-        return self._dial(site_id), False
+            return sock, True
 
     def _checkin(self, site_id, sock):
         with self._lock:
@@ -394,7 +481,7 @@ class TcpNetwork:
             self.pool_stats["discarded"] += 1
         _close_quietly(sock)
 
-    def _exchange(self, dst, encoded):
+    def _exchange(self, dst, encoded, message=None):
         """One framed request/reply on a pooled connection.
 
         Never returns a socket of unknown state to the pool: any
@@ -428,7 +515,7 @@ class TcpNetwork:
         for interceptor in self.interceptors:
             interceptor(src, dst, message)
         self.traffic.record(src, dst, message)
-        payload = self._exchange(dst, message.encode())
+        payload = self._exchange(dst, message.encode(), message)
         if not payload:
             return None
         reply = Message.decode(payload)
@@ -481,21 +568,51 @@ class TcpCluster:
     server's inbound queue (overload protection); pass a
     ``durability=DurabilityConfig(...)`` cluster kwarg to make the
     sites crash-recoverable via :meth:`kill_site`/:meth:`restart_site`.
+
+    ``runtime`` selects how each site serves its sockets:
+    ``"threaded"`` (the default) is the classic connection-per-thread
+    :class:`TcpSiteServer`; ``"reactor"`` hosts every site on a
+    :class:`~repro.net.aioruntime.AsyncSiteServer` -- one event loop
+    per site driving all of its sockets.  ``pipelining`` controls the
+    client side: ``True`` multiplexes many in-flight frames per pooled
+    connection (:class:`~repro.net.aioruntime.PipelinedTcpNetwork`),
+    ``False`` keeps the strictly serial exchange; the default follows
+    the runtime (pipelined with the reactor, serial with threads).
+    The wire format is identical in all four combinations.
     """
 
     def __init__(self, global_document, plan, network_wrapper=None,
-                 max_pending=64, **cluster_kwargs):
+                 max_pending=64, runtime="threaded", pipelining=None,
+                 wan_rtt=0.0, **cluster_kwargs):
         from repro.net.cluster import Cluster
+
+        if runtime not in ("threaded", "reactor"):
+            raise ValueError(f"unknown runtime {runtime!r}")
+        self.runtime = runtime
+        if pipelining is None:
+            pipelining = runtime == "reactor"
+        self.pipelining = pipelining
+        if runtime == "reactor":
+            from repro.net.aioruntime import AsyncSiteServer
+            self._server_cls = AsyncSiteServer
+        else:
+            self._server_cls = TcpSiteServer
+        if pipelining:
+            from repro.net.aioruntime import PipelinedTcpNetwork
+            self.tcp_network = PipelinedTcpNetwork()
+        else:
+            self.tcp_network = TcpNetwork()
 
         self.cluster = Cluster(global_document, plan, **cluster_kwargs)
         self.max_pending = max_pending
-        self.tcp_network = TcpNetwork()
+        self.wan_rtt = wan_rtt
         self.network = (self.tcp_network if network_wrapper is None
                         else network_wrapper(self.tcp_network))
         self.servers = {}
         self._parked_addresses = {}
         for site, agent in self.cluster.agents.items():
-            server = TcpSiteServer(agent, max_pending=max_pending).start()
+            server = self._server_cls(agent, max_pending=max_pending,
+                                      wan_rtt=wan_rtt).start()
             self.servers[site] = server
             self.network.register_address(site, server.address)
         for agent in self.cluster.agents.values():
@@ -526,8 +643,9 @@ class TcpCluster:
         host, port = self._parked_addresses.pop(site)
         agent = self.cluster.restart_site(site)
         agent.network = self.network
-        server = TcpSiteServer(agent, host=host, port=port,
-                               max_pending=self.max_pending).start()
+        server = self._server_cls(agent, host=host, port=port,
+                                  max_pending=self.max_pending,
+                                  wan_rtt=self.wan_rtt).start()
         self.servers[site] = server
         self.network.register_address(site, server.address)
         return agent

@@ -153,6 +153,259 @@ def run_live(cluster, workload, count, now=None, clock=time.monotonic):
     return metrics, report
 
 
+def _percentile(sorted_values, fraction):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class OpenLoopResult:
+    """What one :func:`run_open_loop` run measured.
+
+    Latencies are measured from each request's *scheduled arrival
+    time*, not from when a worker got around to sending it -- under
+    saturation the queueing delay IS the latency, and hiding it is the
+    classic closed-loop mistake (coordinated omission).
+    """
+
+    def __init__(self, target_qps, duration, offered, completed, errors,
+                 dropped, latencies, max_in_flight):
+        self.target_qps = target_qps
+        self.duration = duration
+        self.offered = offered
+        self.completed = completed
+        self.errors = errors
+        self.dropped = dropped
+        self.latencies = sorted(latencies)
+        self.max_in_flight = max_in_flight
+
+    @property
+    def achieved_qps(self):
+        """Successful completions per second of offered-load window."""
+        if self.duration <= 0:
+            return 0.0
+        return self.completed / self.duration
+
+    @property
+    def sustained(self):
+        """Did the system keep up with the offered rate?
+
+        Sustained means (nearly) every offered request completed
+        successfully -- 95% is the tolerance for scheduler jitter at
+        the window edges, not an error budget.
+        """
+        if self.offered == 0:
+            return False
+        return self.completed / self.offered >= 0.95
+
+    def percentile(self, fraction):
+        return _percentile(self.latencies, fraction)
+
+    def summary(self):
+        return {
+            "target_qps": self.target_qps,
+            "achieved_qps": round(self.achieved_qps, 2),
+            "sustained": self.sustained,
+            "offered": self.offered,
+            "completed": self.completed,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "max_in_flight": self.max_in_flight,
+            "latency_ms": {
+                "p50": round(self.percentile(0.50) * 1000, 3),
+                "p99": round(self.percentile(0.99) * 1000, 3),
+                "max": round((self.latencies[-1] if self.latencies
+                              else 0.0) * 1000, 3),
+            },
+        }
+
+
+def run_open_loop(cluster, workload, target_qps, duration, seed=0,
+                  now=None, clock=time.monotonic, max_workers=64,
+                  drain_timeout=15.0):
+    """Offer *workload* queries at *target_qps* for *duration* seconds.
+
+    Unlike :func:`run_live` (closed-loop: the next query waits for the
+    previous answer, so a slow system conveniently slows the load
+    down), this is an **open-loop** generator: arrivals follow a seeded
+    Poisson process at the target rate *regardless of completions*,
+    the way independent wide-area clients actually behave.  A system
+    that cannot keep up accumulates a backlog and its measured latency
+    grows without bound -- which is the point.
+
+    *workload* may be a :class:`QueryWorkload` (each arrival routes
+    its query client-side, as ``query_via_messages`` does, and fires
+    the user :class:`~repro.net.messages.QueryMessage` at the routed
+    site) or an :class:`UpdateWorkload` (each arrival fires an
+    :class:`~repro.net.messages.UpdateMessage` at the owning site --
+    the wide-area ingest pattern, fanning out across every leaf).
+    Either way the request goes to the wire:
+
+    * on a pipelining transport (``request_async``), in-flight requests
+      cost a correlation-table entry -- one dispatcher thread sustains
+      hundreds of outstanding frames;
+    * on the serial transport, each in-flight request needs a worker
+      thread and its own pooled connection (*max_workers* of them) --
+      arrivals beyond that queue, and their queueing time is charged to
+      their latency, per coordinated-omission rules.
+
+    Returns an :class:`OpenLoopResult`.
+    """
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.net.errors import NetError
+    from repro.net.messages import QueryMessage, UpdateMessage
+
+    network = cluster.network
+    use_async = (hasattr(network, "request_async")
+                 and getattr(network, "pipelining", False))
+
+    rng = random.Random(seed)
+    arrivals = []  # offsets from window start
+    offset = 0.0
+    while offset < duration:
+        arrivals.append(offset)
+        offset += rng.expovariate(target_qps)
+
+    def _owner_site(path):
+        """The site owning *path*: longest assigned prefix wins."""
+        best_site, best_len = None, -1
+        for site, prefixes in cluster.plan.assignments.items():
+            for prefix in prefixes:
+                if len(prefix) > best_len and path[:len(prefix)] == prefix:
+                    best_site, best_len = site, len(prefix)
+        return best_site
+
+    plan = []
+    for _ in arrivals:
+        sampled = workload.sample()
+        if isinstance(sampled[0], str):
+            query, _qtype = sampled
+            plan.append((cluster.route_query(query)[0],
+                         lambda q=query: QueryMessage(
+                             q, now=now, user=True, sender="client")))
+        else:
+            path, values = sampled
+            plan.append((_owner_site(path),
+                         lambda p=path, v=values: UpdateMessage(
+                             p, values=v, sender="client")))
+
+    lock = threading.Lock()
+    latencies = []
+    state = {"completed": 0, "errors": 0, "in_flight": 0,
+             "max_in_flight": 0}
+    done = threading.Event()
+
+    def begin():
+        with lock:
+            state["in_flight"] += 1
+            if state["in_flight"] > state["max_in_flight"]:
+                state["max_in_flight"] = state["in_flight"]
+
+    def finish(scheduled, ok):
+        elapsed = clock() - scheduled
+        with lock:
+            state["in_flight"] -= 1
+            if ok:
+                state["completed"] += 1
+                latencies.append(elapsed)
+            else:
+                state["errors"] += 1
+            if state["in_flight"] == 0:
+                done.set()
+
+    def fire_async(site, message, scheduled):
+        begin()
+        try:
+            future = network.request_async("client", site, message)
+        except (OSError, NetError):
+            finish(scheduled, ok=False)
+            return
+
+        def completed(fut):
+            ok = (fut.exception() is None
+                  and getattr(fut.result(), "kind", "") != "error")
+            finish(scheduled, ok)
+
+        future.add_done_callback(completed)
+
+    def fire_sync(site, message, scheduled):
+        try:
+            reply = network.request("client", site, message)
+            ok = reply is not None and getattr(reply, "kind", "") != "error"
+        except (OSError, NetError):
+            ok = False
+        finish(scheduled, ok)
+
+    executor = None
+    if not use_async:
+        executor = ThreadPoolExecutor(max_workers=max_workers,
+                                      thread_name_prefix="openloop")
+    start = clock()
+    try:
+        for offset, (site, build) in zip(arrivals, plan):
+            scheduled = start + offset
+            delay = scheduled - clock()
+            if delay > 0:
+                time.sleep(delay)
+            message = build()
+            if use_async:
+                fire_async(site, message, scheduled)
+            else:
+                begin()
+                executor.submit(fire_sync, site, message, scheduled)
+        # Drain: requests offered inside the window may complete after
+        # it; they count.  Whatever is still unfinished past the grace
+        # period is dropped (the backlog of a saturated run).
+        deadline = clock() + drain_timeout
+        while clock() < deadline:
+            with lock:
+                if state["in_flight"] == 0:
+                    break
+            done.clear()
+            done.wait(min(0.25, max(0.0, deadline - clock())))
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    with lock:
+        dropped = state["in_flight"]
+        return OpenLoopResult(
+            target_qps=target_qps, duration=duration,
+            offered=len(arrivals), completed=state["completed"],
+            errors=state["errors"], dropped=dropped,
+            latencies=list(latencies),
+            max_in_flight=state["max_in_flight"])
+
+
+def max_sustained_qps(run, rates):
+    """The highest of *rates* the system kept up with.
+
+    *run* is ``rate -> OpenLoopResult``; rates are tried in increasing
+    order and the scan stops after two consecutive unsustained rates
+    (a saturated system only gets worse).  Returns ``(best_rate,
+    {rate: result})`` -- ``best_rate`` is 0.0 when nothing held.
+    """
+    best = 0.0
+    results = {}
+    misses = 0
+    for rate in sorted(rates):
+        result = run(rate)
+        results[rate] = result
+        if result.sustained:
+            best = rate
+            misses = 0
+        else:
+            misses += 1
+            if misses >= 2:
+                break
+    return best, results
+
+
 class UpdateWorkload:
     """A stream of random sensor updates over all parking spaces."""
 

@@ -1,0 +1,474 @@
+"""Tests for the reactor runtime and the pipelined client.
+
+Covers the correlation-id matching that makes out-of-order pipelined
+replies safe, the serial-peer compatibility fallback, concurrent
+pipelined stress against both server runtimes, the reactor's
+backpressure watermarks and overload shedding, the oversized-frame
+refusal on both runtimes, and wire parity: with pipelining disabled
+the reactor cluster produces byte-identical traffic to the threaded
+one.
+"""
+
+import itertools
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.net import AckMessage, QueryMessage
+from repro.net.aioruntime import (
+    AsyncSiteServer,
+    PipelinedTcpNetwork,
+    _PipelinedConnection,
+)
+from repro.net.errors import NetError
+from repro.net.framing import (
+    MAX_MESSAGE_BYTES,
+    FrameReader,
+    recv_framed,
+    send_framed,
+)
+from repro.net.messages import Message, peek_message_id, peek_reply_to
+from repro.net.tcpruntime import TcpCluster, TcpSiteServer
+
+from tests.conftest import FIGURE2_QUERY, OAKLAND
+
+PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']"
+          "/city[@id='Pittsburgh']")
+
+
+class _AckAgent:
+    site_id = "echo"
+
+    def handle_message(self, message):
+        return AckMessage(message.message_id, ok=True, sender="echo")
+
+
+class _SlowAckAgent(_AckAgent):
+    def __init__(self, delay):
+        self.delay = delay
+
+    def handle_message(self, message):
+        time.sleep(self.delay)
+        return super().handle_message(message)
+
+
+@pytest.fixture(params=["threaded", "reactor"])
+def echo_server(request):
+    cls = TcpSiteServer if request.param == "threaded" else AsyncSiteServer
+    server = cls(_AckAgent()).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def reactor_cluster(paper_doc, paper_plan):
+    with TcpCluster(paper_doc, paper_plan, runtime="reactor") as tcp:
+        yield tcp
+
+
+class TestReactorCluster:
+    def test_figure2_query_over_reactor(self, reactor_cluster):
+        results, _site, outcome = reactor_cluster.cluster.query(
+            FIGURE2_QUERY)
+        assert len(results) == 3
+        assert outcome.used_remote_data
+        assert reactor_cluster.network.pool_stats["pipelined"] > 0
+
+    def test_query_via_messages_over_reactor(self, reactor_cluster):
+        results, _site = reactor_cluster.cluster.query_via_messages(
+            FIGURE2_QUERY)
+        assert len(results) == 3
+
+    def test_updates_over_reactor(self, reactor_cluster):
+        space = OAKLAND + (("block", "1"), ("parkingSpace", "2"))
+        sa = reactor_cluster.cluster.add_sensing_agent("sa-aio", [space])
+        sa.network = reactor_cluster.network
+        sa.send_update(space, values={"available": "yes"})
+        element = reactor_cluster.cluster.database("oak").find(space)
+        assert element.child("available").text == "yes"
+
+    def test_pipelined_client_against_threaded_servers(self, paper_doc,
+                                                       paper_plan):
+        # The client shim composes with the old runtime: pipelined
+        # exchanges against connection-per-thread servers.
+        with TcpCluster(paper_doc, paper_plan, runtime="threaded",
+                        pipelining=True) as tcp:
+            results, _site, _ = tcp.cluster.query(FIGURE2_QUERY)
+            assert len(results) == 3
+            assert tcp.network.pool_stats["pipelined"] > 0
+            assert tcp.network.pool_stats["serial_fallbacks"] == 0
+
+    def test_reactor_port_conflict_surfaces_at_start(self):
+        taken = socket.socket()
+        taken.bind(("127.0.0.1", 0))
+        taken.listen(1)
+        try:
+            with pytest.raises(OSError):
+                AsyncSiteServer(_AckAgent(), port=taken.getsockname()[1]
+                                ).start()
+        finally:
+            taken.close()
+
+
+class _ScriptedPeer:
+    """A raw server socket driven by the test, for reply scripting."""
+
+    def __init__(self):
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(2)
+        self.address = self.listener.getsockname()
+        self.conn = None
+        self.reader = None
+
+    def accept(self):
+        self.conn, _ = self.listener.accept()
+        self.reader = FrameReader(self.conn)
+        return self.conn
+
+    def close(self):
+        for sock in (self.conn, self.listener):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+class TestPipelinedCorrelation:
+    def test_out_of_order_replies_matched_by_correlation_id(self):
+        peer = _ScriptedPeer()
+        network = PipelinedTcpNetwork(connections_per_site=1)
+        network.register_address("peer", peer.address)
+        replies = {}
+        errors = []
+
+        def scripted():
+            # Read BOTH requests before answering, then answer them in
+            # reverse order: the second request's reply overtakes the
+            # first's on the shared connection.
+            peer.accept()
+            payloads = [peer.reader.recv_frame() for _ in range(2)]
+            for payload in reversed(payloads):
+                mid = peek_message_id(payload)
+                send_framed(peer.conn,
+                            AckMessage(mid, ok=True, sender="peer").encode())
+
+        def ask(key):
+            try:
+                message = QueryMessage(f"/{key}")
+                reply = network.request("c", "peer", message)
+                replies[key] = (message.message_id, reply)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        server = threading.Thread(target=scripted)
+        server.start()
+        first = threading.Thread(target=ask, args=("a",))
+        first.start()
+        time.sleep(0.05)  # let the first exchange take the connection
+        second = threading.Thread(target=ask, args=("b",))
+        second.start()
+        for thread in (first, second, server):
+            thread.join(5)
+        try:
+            assert not errors
+            # Each waiter got the reply carrying ITS request id, not
+            # the first frame that happened to arrive.
+            for key in ("a", "b"):
+                sent_id, reply = replies[key]
+                assert reply.in_reply_to == sent_id
+            assert network.pool_stats["pipeline_connects"] == 1
+            assert network.pool_stats["serial_fallbacks"] == 0
+        finally:
+            network.close()
+            peer.close()
+
+    def test_uncorrelated_reply_falls_back_to_serial(self):
+        peer = _ScriptedPeer()
+        network = PipelinedTcpNetwork(connections_per_site=1)
+        network.register_address("peer", peer.address)
+        outcome = {}
+
+        def scripted():
+            peer.accept()
+            payload = peer.reader.recv_frame()
+            # An old serial peer: the reply carries no usable
+            # correlation id (replyTo=0), so the client must hand it
+            # to the oldest waiter and drop to serial mode for good.
+            send_framed(peer.conn,
+                        AckMessage(0, ok=True, sender="peer").encode())
+            # The next exchange still works (now strictly serial).
+            payload = peer.reader.recv_frame()
+            send_framed(peer.conn, AckMessage(
+                peek_message_id(payload), ok=True, sender="peer").encode())
+
+        server = threading.Thread(target=scripted)
+        server.start()
+        try:
+            first = network.request("c", "peer", QueryMessage("/a"))
+            assert first.ok
+            assert network.pool_stats["serial_fallbacks"] == 1
+            stats = network.pipeline_stats()["peer"]
+            assert stats[0]["serial_only"] is True
+
+            second = network.request("c", "peer", QueryMessage("/b"))
+            assert second.ok
+            # Only counted at the moment of falling back, not per use.
+            assert network.pool_stats["serial_fallbacks"] == 1
+        finally:
+            server.join(5)
+            network.close()
+            peer.close()
+
+    def test_timed_out_request_is_tombstoned_not_misdelivered(self):
+        left, right = socket.socketpair()
+        conn = _PipelinedConnection(left, "peer", max_inflight=8,
+                                    timeout=0.3)
+        server_reader = FrameReader(right)
+        try:
+            survivor = conn.send_async(8, QueryMessage("/b").encode())
+            with pytest.raises(NetError, match="timed out"):
+                conn.exchange(7, QueryMessage("/a").encode())
+            for _ in range(2):  # both frames reached the peer
+                assert server_reader.recv_frame() is not None
+            # The late reply to the abandoned request must be dropped
+            # by its tombstone -- NOT delivered oldest-first, which
+            # would hand request 8 the wrong payload.
+            send_framed(right, AckMessage(7, ok=True,
+                                          sender="peer").encode())
+            send_framed(right, AckMessage(8, ok=True,
+                                          sender="peer").encode())
+            assert survivor.event.wait(2)
+            assert survivor.error is None
+            assert peek_reply_to(survivor.payload) == 8
+            assert conn.serial_only is False
+            assert conn.inflight == 0
+        finally:
+            conn.close()
+            right.close()
+
+    def test_connection_death_fails_all_waiters_fast(self):
+        left, right = socket.socketpair()
+        conn = _PipelinedConnection(left, "peer", max_inflight=8,
+                                    timeout=30.0)
+        try:
+            waiters = [conn.send_async(i, QueryMessage("/a").encode())
+                       for i in (1, 2, 3)]
+            right.close()  # the peer resets mid-flight
+            for waiter in waiters:
+                assert waiter.event.wait(2)
+                assert isinstance(waiter.error, (NetError, OSError))
+            assert conn.closed
+            with pytest.raises(NetError, match="closed"):
+                conn.send_async(4, QueryMessage("/a").encode())
+        finally:
+            conn.close()
+
+
+class TestPipelinedStress:
+    def test_concurrent_pipelined_exchanges_share_one_connection(
+            self, echo_server):
+        """32 threads, 4 exchanges each, one socket -- both runtimes."""
+        network = PipelinedTcpNetwork(connections_per_site=1,
+                                      max_inflight=64)
+        network.register_address("echo", echo_server.address)
+        errors = []
+
+        # Establish the single shared connection before the stampede
+        # so every thread pipelines over it.
+        assert network.request("c", "echo", QueryMessage("/warm")).ok
+
+        def client():
+            try:
+                for _ in range(4):
+                    message = QueryMessage("/q")
+                    reply = network.request("c", "echo", message)
+                    assert reply.ok
+                    assert reply.in_reply_to == message.message_id
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        try:
+            assert not errors
+            assert network.pool_stats["pipeline_connects"] == 1
+            assert network.pool_stats["pipelined"] == 1 + 32 * 4
+            assert network.pool_stats["serial_fallbacks"] == 0
+        finally:
+            network.close()
+
+    def test_request_async_futures_resolve(self, echo_server):
+        network = PipelinedTcpNetwork(connections_per_site=1)
+        network.register_address("echo", echo_server.address)
+        try:
+            messages = [QueryMessage(f"/q{i}") for i in range(10)]
+            futures = [network.request_async("c", "echo", m)
+                       for m in messages]
+            for message, future in zip(messages, futures):
+                reply = future.result(timeout=10)
+                assert reply.ok
+                assert reply.in_reply_to == message.message_id
+        finally:
+            network.close()
+
+
+class TestReactorBackpressure:
+    def test_overload_sheds_with_retryable_error(self):
+        server = AsyncSiteServer(_SlowAckAgent(0.15), max_pending=2,
+                                 handler_workers=1).start()
+        sock = socket.create_connection(server.address)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            messages = [QueryMessage(f"/q{i}") for i in range(8)]
+            # One burst, one write: the frames land in one (or few)
+            # data_received calls, ahead of any read-pause, so the
+            # admission gate itself must shed the excess.
+            sock.sendall(b"".join(
+                struct.pack(">I", len(e := m.encode().encode("utf-8"))) + e
+                for m in messages))
+            reader = FrameReader(sock)
+            acks, sheds = [], []
+            for _ in range(8):
+                reply = Message.decode(reader.recv_frame())
+                (sheds if reply.kind == "error" else acks).append(reply)
+            assert len(acks) + len(sheds) == 8
+            assert sheds, "an 8-frame burst past max_pending=2 must shed"
+            sent_ids = {m.message_id for m in messages}
+            for shed in sheds:
+                assert shed.code == "server-overloaded"
+                assert shed.retryable is True
+                assert shed.in_reply_to in sent_ids  # peeked, not parsed
+            stats = server.server_stats()
+            assert stats["overload_rejections"] == len(sheds)
+            assert stats["admitted"] == len(acks)
+        finally:
+            sock.close()
+            server.stop()
+
+    def test_read_pause_and_resume_watermarks(self):
+        server = AsyncSiteServer(_SlowAckAgent(0.03), max_pending=8,
+                                 handler_workers=1).start()
+        network = PipelinedTcpNetwork(connections_per_site=1,
+                                      max_inflight=64)
+        network.register_address("echo", server.address)
+        try:
+            # Paced arrivals outrun the 30ms handler: the admitted
+            # queue climbs past the pause watermark (6 of 8), the
+            # reactor stops reading, the backlog drains to the resume
+            # watermark, reading resumes -- and nothing is shed,
+            # because TCP flow control held the rest at the peer.
+            futures = []
+            for i in range(12):
+                futures.append(network.request_async(
+                    "c", "echo", QueryMessage(f"/q{i}")))
+                time.sleep(0.004)
+            for future in futures:
+                assert future.result(timeout=10).ok
+            stats = server.server_stats()
+            assert stats["read_pauses"] >= 1
+            assert stats["read_resumes"] >= 1
+            assert stats["overload_rejections"] == 0
+            assert stats["max_queue_depth"] <= 8
+        finally:
+            network.close()
+            server.stop()
+
+    def test_drain_sheds_then_settles(self):
+        server = AsyncSiteServer(_AckAgent()).start()
+        network = PipelinedTcpNetwork(connections_per_site=1)
+        network.register_address("echo", server.address)
+        try:
+            assert network.request("c", "echo", QueryMessage("/a")).ok
+            server.begin_drain()
+            # The established pipelined connection gets a structured,
+            # retryable refusal (and then loses the connection -- a
+            # draining site's pooled sockets must not linger).
+            reply = network.request("c", "echo", QueryMessage("/b"))
+            assert reply.kind == "error"
+            assert reply.code == "server-overloaded"
+            assert reply.retryable is True
+            assert "draining" in reply.detail
+            assert server.wait_drained(timeout=5)
+            assert server.server_stats()["drain_rejections"] >= 1
+        finally:
+            network.close()
+            server.stop()
+
+
+class TestOversizedFrames:
+    def test_oversized_frame_answered_then_closed(self, echo_server):
+        """A lying length prefix gets a structured non-retryable
+        refusal before the connection dies -- on both runtimes."""
+        sock = socket.create_connection(echo_server.address)
+        try:
+            sock.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+            reply = Message.decode(recv_framed(sock))
+            assert reply.kind == "error"
+            assert reply.code == "frame-too-large"
+            assert reply.retryable is False
+            assert str(MAX_MESSAGE_BYTES + 1) in reply.detail
+            # The stream cannot be resynchronised: the server closes.
+            assert recv_framed(sock) is None
+        finally:
+            sock.close()
+
+
+class TestWireParity:
+    QUERIES = (
+        FIGURE2_QUERY,
+        PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']",
+        PREFIX + "/neighborhood[@id='Oakland']/block[@id='1']"
+                 "/parkingSpace[available='yes']",
+    )
+
+    def _run(self, runtime, paper_doc, paper_plan, monkeypatch):
+        from repro.net import messages as messages_module
+        from repro.xmlkit import canonical_form
+
+        # Pin the process-global message-id sequence (ids show up in
+        # the framed bytes) and the clock (timestamps do too).
+        monkeypatch.setattr(messages_module, "_SEQUENCE",
+                            itertools.count(1000))
+        with TcpCluster(paper_doc.copy(), paper_plan, runtime=runtime,
+                        pipelining=False, clock=lambda: 1000.0) as tcp:
+            answers = []
+            for query in self.QUERIES:
+                results, _, _ = tcp.cluster.query(query)
+                answers.append(sorted(canonical_form(r) for r in results))
+            return answers, tcp.network.traffic.summary()
+
+    def test_reactor_without_pipelining_is_byte_identical(
+            self, paper_doc, paper_plan, monkeypatch):
+        threaded = self._run("threaded", paper_doc, paper_plan, monkeypatch)
+        reactor = self._run("reactor", paper_doc, paper_plan, monkeypatch)
+        assert reactor[0] == threaded[0]
+        assert reactor[1] == threaded[1]
+
+    def test_pipelined_answers_match_threaded(self, paper_doc, paper_plan):
+        from repro.xmlkit import canonical_form
+
+        def norm(items):
+            out = []
+            for item in items:
+                clone = item.copy()
+                for node in clone.iter():
+                    node.delete_attribute("timestamp")
+                out.append(canonical_form(clone))
+            return sorted(out)
+
+        with TcpCluster(paper_doc.copy(), paper_plan) as tcp:
+            threaded, _, _ = tcp.cluster.query(FIGURE2_QUERY)
+            threaded = norm(threaded)
+        with TcpCluster(paper_doc.copy(), paper_plan,
+                        runtime="reactor") as tcp:
+            reactor, _, _ = tcp.cluster.query(FIGURE2_QUERY)
+            reactor = norm(reactor)
+        assert reactor == threaded

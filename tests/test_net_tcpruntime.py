@@ -188,16 +188,19 @@ class TestConnectionPool:
         assert network.pool_stats["reuses"] == 2
         assert network.idle_connection_count() == 1
 
-    def test_stale_pooled_connection_retried(self, echo_net):
+    def test_stale_pooled_connection_evicted_on_checkout(self, echo_net):
         network, _server = echo_net
         network.request("c", "echo", QueryMessage("/a"))
-        # The peer drops the pooled connection while it sits idle.
+        # The peer drops the pooled connection while it sits idle: the
+        # checkout liveness probe sees the half-open socket and evicts
+        # it instead of handing it out to fail mid-exchange.
         left, right = socket.socketpair()
         right.close()
         network._idle["echo"].append(left)  # stack: checked out next
         reply = network.request("c", "echo", QueryMessage("/a"))
         assert reply.ok
-        assert network.pool_stats["discarded"] >= 1
+        assert network.pool_stats["stale_evictions"] >= 1
+        assert left.fileno() == -1  # really closed, not pooled again
 
     def test_idle_pool_bounded(self):
         network = TcpNetwork(max_idle_per_site=2)
