@@ -20,8 +20,11 @@ query must re-gather; "hit" queries find the cache warm.
 import random
 
 from benchmarks.conftest import print_table, run_point, workload_suite
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.net import OAConfig
+
+RESULTS_FILE = "BENCH_fig10_caching.json"
 
 
 def _pre_query_evictor(sim, probability, seed):
@@ -79,6 +82,17 @@ def test_figure10_caching_throughputs(benchmark, paper_config,
                 labels, rows,
                 note="paper shape: 0%-hits ~ no-caching; QW-3/QW-4 drop "
                      "at 100% hits; QW-Mix gains up to ~33%")
+    write_report(
+        RESULTS_FILE, "fig10_caching",
+        params={"architecture": "hierarchical",
+                "configurations": labels},
+        metrics={
+            "throughput_qps": {
+                f"{name}/{label}": value
+                for (name, label), value in table.items()
+            },
+        },
+    )
 
     t = table
     # Minimal overhead: caching with no hits within 25% of no caching.

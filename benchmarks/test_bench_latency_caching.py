@@ -7,11 +7,16 @@ workload."  Type 1/2 latencies are unaffected (already local).
 Latency is an uncontended measurement (light load, caches warmed
 during a long warm-up): the *throughput* interaction of caching under
 heavy load is Figure 10's subject.
+
+Results archive to ``BENCH_latency_caching.json``.
 """
 
 from benchmarks.conftest import print_table, run_point, workload_suite
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.net import OAConfig
+
+RESULTS_FILE = "BENCH_latency_caching.json"
 
 
 def _run(config, document):
@@ -43,6 +48,18 @@ def test_section55_caching_latency(benchmark, paper_config, paper_document):
     print_table("Section 5.5: mean latency (ms) with and without caching",
                 ["no-caching", "caching", "saving %"], rows,
                 note="paper: 10-33% lower latency for QW-3/QW-4/QW-Mix")
+    write_report(
+        RESULTS_FILE, "latency_caching",
+        params={"architecture": "hierarchical", "n_clients": 2,
+                "duration_s": 20.0, "warmup_s": 20.0},
+        metrics={
+            "mean_latency_ms": {
+                f"{name}/{label}": value
+                for (name, label), value in table.items()
+            },
+            "saving_pct": {row[0]: row[3] for row in rows},
+        },
+    )
 
     # Type 3/4 and the mix get faster with caching.
     for name in ("QW-3", "QW-4", "QW-Mix"):

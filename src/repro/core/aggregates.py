@@ -17,33 +17,35 @@ exactly that conversion.
 """
 
 
-class CachedScalar:
-    """One cached aggregate value."""
+from repro.core.semcache import SemanticCache, SemanticCacheConfig
 
-    __slots__ = ("value", "computed_at")
-
-    def __init__(self, value, computed_at):
-        self.value = value
-        self.computed_at = computed_at
-
-    def age(self, now):
-        return now - self.computed_at
-
-    def __repr__(self):
-        return f"CachedScalar({self.value!r} @ {self.computed_at:.1f})"
+#: Back-compat alias: lookups return :class:`~repro.core.semcache.CacheEntry`
+#: objects, which carry the same ``value``/``computed_at``/``age(now)``
+#: surface the old CachedScalar did.
+from repro.core.semcache import CacheEntry as CachedScalar  # noqa: F401
 
 
 class AggregateCache:
-    """Freshness-bounded cache of scalar query answers for one site."""
+    """Freshness-bounded cache of scalar query answers for one site.
 
-    def __init__(self, clock, drift_rate=None):
+    Since the semantic-cache work this is a thin clock-aware veneer
+    over :class:`~repro.core.semcache.SemanticCache`: size-aware LRU
+    with measured admission/eviction instead of unbounded growth.  Keys
+    are whatever the caller supplies -- the gather driver passes
+    (bucketed) canonical keys plus the exact spelling for coalesce
+    accounting; raw strings keep working for direct users.
+    """
+
+    def __init__(self, clock, drift_rate=None, config=None):
         """*drift_rate*: maximum fractional change of aggregates per
         second, used to convert precision tolerances into ages; without
-        it only explicit ``max_age`` bounds are accepted."""
+        it only explicit ``max_age`` bounds are accepted.  *config* is
+        a :class:`~repro.core.semcache.SemanticCacheConfig` governing
+        budget and admission."""
         self.clock = clock
         self.drift_rate = drift_rate
-        self._entries = {}
-        self.stats = {"hits": 0, "misses": 0, "stores": 0}
+        self.cache = SemanticCache(config or SemanticCacheConfig())
+        self.stats = self.cache.stats
 
     # ------------------------------------------------------------------
     def max_age_for_precision(self, precision):
@@ -55,31 +57,31 @@ class AggregateCache:
         return precision / self.drift_rate
 
     # ------------------------------------------------------------------
-    def lookup(self, query, max_age=None, precision=None):
-        """A cached value fresh enough for the given tolerance, or None."""
+    def lookup(self, query, max_age=None, precision=None, exact_key=None,
+               tolerance=None):
+        """A cached value fresh enough for the given tolerance, or None.
+
+        *exact_key* and *tolerance* feed the semantic cache's
+        subsumption check when *query* is a bucket-shared key: a hit
+        under a different exact key counts as bucket-coalesced, and the
+        allowed age shrinks by any tolerance slack the stored entry
+        carries over this query (see ``SemanticCache.lookup``).
+        """
         if max_age is None and precision is not None:
             max_age = self.max_age_for_precision(precision)
-        if max_age is None:
-            self.stats["misses"] += 1
-            return None
-        entry = self._entries.get(query)
-        if entry is not None and entry.age(self.clock()) <= max_age:
-            self.stats["hits"] += 1
-            return entry
-        self.stats["misses"] += 1
-        return None
+        return self.cache.lookup(query, self.clock(), max_age=max_age,
+                                 exact_key=exact_key, tolerance=tolerance)
 
-    def store(self, query, value):
-        entry = CachedScalar(value, self.clock())
-        self._entries[query] = entry
-        self.stats["stores"] += 1
-        return entry
+    def store(self, query, value, exact_key=None, tolerance=None):
+        return self.cache.store(query, value, self.clock(),
+                                exact_key=exact_key, tolerance=tolerance)
 
     def invalidate(self, query=None):
-        if query is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(query, None)
+        self.cache.invalidate(query)
+
+    def metrics(self):
+        """Registry-facing snapshot (counters + byte/entry gauges)."""
+        return self.cache.metrics()
 
     def __len__(self):
-        return len(self._entries)
+        return len(self.cache)

@@ -190,6 +190,55 @@ def has_consistency_predicates(expression):
     return False
 
 
+def bucket_consistency_tolerances(expression, bucket_fn):
+    """Coarsen every freshness tolerance in *expression* via *bucket_fn*.
+
+    Each canonical-shape consistency conjunct
+    ``timestamp() > current-time() - N`` is replaced by the same
+    predicate with ``bucket_fn(N)`` (its bucket ceiling).  Returns
+    ``(new_expression, tolerances)`` where *tolerances* lists each
+    ``(original, bucketed)`` pair in document order.  Coarsening only
+    ever *loosens* the wire/key form; serving data under the loosened
+    key must still re-check the original bound (the subsumption check
+    -- see ``repro.core.semcache``).
+    """
+    tolerances = []
+
+    def bucket_conjuncts(predicate):
+        changed = False
+        rebuilt = []
+        for conjunct in _iter_conjuncts(predicate):
+            seconds = extract_tolerance(conjunct)
+            if seconds is not None and classify_predicate(conjunct) == \
+                    frozenset({REF_CONSISTENCY}):
+                bucketed = bucket_fn(seconds)
+                tolerances.append((seconds, bucketed))
+                if bucketed != seconds:
+                    conjunct = tolerance_predicate(bucketed)
+                    changed = True
+            rebuilt.append(conjunct)
+        if not changed:
+            return predicate
+        combined = rebuilt[0]
+        for conjunct in rebuilt[1:]:
+            combined = BinaryOperation("and", combined, conjunct)
+        return combined
+
+    def visit(node):
+        if isinstance(node, LocationPath):
+            return LocationPath(
+                node.absolute,
+                [
+                    Step(step.axis, step.node_test,
+                         [bucket_conjuncts(p) for p in step.predicates])
+                    for step in node.steps
+                ],
+            )
+        return node
+
+    return transform_expression(expression, visit), tolerances
+
+
 def tolerance_predicate(seconds):
     """Build the canonical freshness predicate for *seconds* tolerance."""
     return BinaryOperation(

@@ -32,12 +32,18 @@ from repro.core.idable import (
     lowest_idable_ancestor_or_self,
 )
 from repro.core.answer import Subquery
+from repro.core.consistency import rewrite_consistency_sugar
 from repro.core.qeg import (
     FETCH_SUBTREE,
     GENERALIZE_ANSWER,
     CompiledPattern,
     compile_pattern,
     run_qeg,
+)
+from repro.core.semcache import (
+    SemanticCacheConfig,
+    canonicalization_stats,
+    canonicalize,
 )
 from repro.core.status import get_status, strip_internal_attributes
 from repro.obs.tracing import TRACER, propagate
@@ -225,7 +231,8 @@ class GatherDriver:
     def __init__(self, database, send, schema=None, cache_results=True,
                  nesting_strategy=FETCH_SUBTREE,
                  generalization=GENERALIZE_ANSWER,
-                 executor=None, send_many=None, stale_on_error=False):
+                 executor=None, send_many=None, stale_on_error=False,
+                 semcache=None):
         self.database = database
         self.send = send
         self.schema = schema
@@ -235,7 +242,12 @@ class GatherDriver:
         self.executor = resolve_executor(executor)
         self.send_many = send_many
         self.stale_on_error = stale_on_error
-        self.aggregates = AggregateCache(database.clock)
+        #: Semantic caching policy: canonical keys, freshness buckets,
+        #: and the aggregate-cache budget (see ``repro.core.semcache``).
+        self.semcache = semcache if semcache is not None \
+            else SemanticCacheConfig()
+        self.aggregates = AggregateCache(database.clock,
+                                         config=self.semcache)
         self._stats_lock = threading.Lock()
         self.stats = {
             "queries": 0,
@@ -246,6 +258,9 @@ class GatherDriver:
             "failed_subqueries": 0,
             "partial_gathers": 0,
             "stale_served": 0,
+            "bucket_generalized": 0,
+            "bucket_rechecks": 0,
+            "prewarm_queries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -280,6 +295,13 @@ class GatherDriver:
             probe_results = {}
             answered = []
             answered_keys = set()
+            # Freshness-bucketed dispatch bookkeeping: keys whose wire
+            # ask was loosened to the bucket boundary, and those already
+            # re-asked exactly once when the loosened answer fell short.
+            bucketed_keys = set()
+            escalated_keys = set()
+            bucket_generalized = 0
+            bucket_rechecks = 0
             sent = []
             failures = []
             rounds = 0
@@ -298,14 +320,39 @@ class GatherDriver:
                 # everything its query could yield, so data still
                 # missing locally (e.g. ID stubs that failed the
                 # predicate remotely) simply does not match.
-                pending = [
-                    sq for sq in result.subqueries
-                    if (sq.query, sq.scalar) not in answered_keys
-                    and not _subsumed_by(sq, answered, pattern)
-                ]
+                pending = []
+                for sq in result.subqueries:
+                    key = (sq.query, sq.scalar)
+                    if key in answered_keys:
+                        if key in bucketed_keys and \
+                                key not in escalated_keys:
+                            # The bucket-loosened answer was merged but
+                            # this subquery re-emerged: the data fails
+                            # its original (tighter) bound.  Re-ask
+                            # exactly, once -- the subsumption guarantee
+                            # for bucketed wire asks.
+                            escalated_keys.add(key)
+                            bucket_rechecks += 1
+                            pending.append(sq)
+                        continue
+                    if _subsumed_by(sq, answered, pattern):
+                        continue
+                    pending.append(sq)
                 if not pending:
                     break
                 max_fanout = max(max_fanout, len(pending))
+                # Loosen eligible wire asks to their freshness-bucket
+                # boundary so mid-tier caches coalesce near-identical
+                # tolerances; replies merge with real timestamps, and
+                # the escalation path above re-checks the exact bound.
+                wire_round = [
+                    self._wire_subquery(sq, bucketed_keys, escalated_keys)
+                    for sq in pending
+                ]
+                bucket_generalized += sum(
+                    1 for sq, wire in zip(pending, wire_round)
+                    if wire is not sq
+                )
                 # Fan the round out (possibly in parallel / batched),
                 # then merge the replies back in emission order: the
                 # merged view -- and hence the final answer -- never
@@ -313,19 +360,22 @@ class GatherDriver:
                 with TRACER.span("subquery-dispatch", site=site) as dspan:
                     dspan.set_tag("round", rounds)
                     dspan.set_tag("fanout", len(pending))
-                    replies = self._dispatch_round(pending)
+                    replies = self._dispatch_round(wire_round)
                 with TRACER.span("merge", site=site) as merge_span:
                     merge_span.set_tag("round", rounds)
                     for subquery, reply in zip(pending, replies):
                         sent.append(subquery)
-                        answered_keys.add((subquery.query, subquery.scalar))
+                        key = (subquery.query, subquery.scalar)
+                        answered_keys.add(key)
                         if isinstance(reply, SubqueryFailure):
                             # Terminal failure: record it, never re-ask
                             # (the key above suppresses re-emission),
                             # and degrade.  Deliberately NOT appended to
                             # ``answered``: a failed fetch is not
                             # authoritative for anything, so it must not
-                            # subsume narrower asks.
+                            # subsume narrower asks.  A dead region is
+                            # also never escalation-worthy.
+                            bucketed_keys.discard(key)
                             self._note_failure(reply, subquery, view)
                             failures.append(reply)
                             if subquery.scalar:
@@ -356,6 +406,8 @@ class GatherDriver:
                     1 for failure in failures if failure.stale_served)
                 if any(not failure.stale_served for failure in failures):
                     self.stats["partial_gathers"] += 1
+                self.stats["bucket_generalized"] += bucket_generalized
+                self.stats["bucket_rechecks"] += bucket_rechecks
             return GatherOutcome(pattern, result.answer, rounds, sent, view,
                                  failures=failures)
 
@@ -374,6 +426,37 @@ class GatherDriver:
         if anchor is not None and \
                 get_status(anchor).has_local_information:
             failure.stale_served = True
+
+    def _wire_subquery(self, subquery, bucketed_keys, escalated_keys):
+        """The wire form of *subquery*: bucket-loosened when eligible.
+
+        Non-scalar asks with bucketable freshness tolerances go out
+        spelled at the bucket boundary, so every mid-tier cache between
+        here and the owner sees one canonical ask per bucket instead of
+        one per jittered tolerance.  Scalars (probes) and escalated
+        re-asks always go out verbatim.
+        """
+        if not self.semcache.enabled or self.semcache.buckets is None:
+            return subquery
+        if subquery.scalar:
+            return subquery
+        key = (subquery.query, subquery.scalar)
+        if key in escalated_keys:
+            return subquery
+        try:
+            canon = canonicalize(subquery.query,
+                                 buckets=self.semcache.buckets)
+        except Exception:
+            return subquery
+        if not canon.bucketed:
+            return subquery
+        bucketed_keys.add(key)
+        return Subquery(
+            canon.bucket_key, subquery.anchor_path, subquery.reason,
+            scalar=subquery.scalar, consumed=subquery.consumed,
+            descendant_gap=subquery.descendant_gap,
+            subtree=subquery.subtree,
+        )
 
     def _dispatch_round(self, pending):
         """Send one round's subqueries; replies come back in input order."""
@@ -460,16 +543,41 @@ class GatherDriver:
         precision" extension: a recent enough cached value of the same
         aggregate is returned without touching the network (Section 4).
         """
-        query_key = query if isinstance(query, str) else query.unparse()
+        canon = None
+        if self.semcache.enabled:
+            canon = canonicalize(query, buckets=self.semcache.buckets)
+            # Cache identity is the *bucketed* canonical form -- every
+            # jitter-equivalent spelling and near-identical tolerance
+            # shares one entry -- while the exact key and the original
+            # (tightest) tolerance feed the coalesce accounting and the
+            # serve-time subsumption check.
+            query_key = canon.bucket_key
+            exact_key = canon.key
+            tolerance = canon.min_tolerance
+        else:
+            query_key = query if isinstance(query, str) else query.unparse()
+            exact_key = query_key
+            tolerance = None
         if max_age is not None or precision is not None:
             with TRACER.span("cache-lookup",
                              site=self.database.site_id) as lookup_span:
                 cached = self.aggregates.lookup(query_key, max_age=max_age,
-                                                precision=precision)
+                                                precision=precision,
+                                                exact_key=exact_key,
+                                                tolerance=tolerance)
                 lookup_span.set_tag("hit", cached is not None)
             if cached is not None:
                 return cached.value
-        ast = xpath_parser.parse(query) if isinstance(query, str) else query
+        if canon is not None:
+            ast = canon.ast
+        else:
+            ast = xpath_parser.parse(query) if isinstance(query, str) \
+                else query
+            # The wrapper is evaluated over the gathered view from this
+            # ast directly (compile only rewrites the gathered path), so
+            # de-sugar here too -- otherwise ``timestamp``/``now`` sugar
+            # would be read as child-element name tests.
+            ast = rewrite_consistency_sugar(ast)
         if not (
             isinstance(ast, FunctionCall)
             and ast.name in SCALAR_WRAPPERS
@@ -489,8 +597,33 @@ class GatherDriver:
         if now is None:
             now = self.database.clock()
         value = _EVALUATOR.evaluate(ast, outcome.view.root, now=now)
-        self.aggregates.store(query_key, value)
+        self.aggregates.store(query_key, value, exact_key=exact_key,
+                              tolerance=tolerance)
         return value
+
+    def note_prewarm(self):
+        """Account one replayed prewarm query (see semcache.prewarm)."""
+        with self._stats_lock:
+            self.stats["prewarm_queries"] += 1
+
+    def semcache_counters(self):
+        """Semantic-cache counters for the metrics registry / EXPLAIN.
+
+        Per-site: the driver's bucket/prewarm counters and the
+        aggregate cache's hit/miss/coalesce/byte figures.  The
+        canonicalizer memo is process-wide and tagged as such.
+        """
+        with self._stats_lock:
+            counters = {
+                key: self.stats[key]
+                for key in ("bucket_generalized", "bucket_rechecks",
+                            "prewarm_queries")
+            }
+        counters["enabled"] = self.semcache.enabled
+        counters["aggregate"] = self.aggregates.metrics()
+        counters["canonicalizer"] = dict(canonicalization_stats(),
+                                         scope="process")
+        return counters
 
     def answer_any(self, query, now=None):
         """Dispatch a query string to subquery/scalar handling.

@@ -46,11 +46,9 @@ Nesting depth > 0 (Section 4) is handled by either of two strategies:
 
 from repro.core.answer import AnswerBuilder, Subquery
 from repro.core.lru import LRUCache
-from repro.core.consistency import (
-    rewrite_consistency_sugar,
-    strip_consistency_predicates,
-)
+from repro.core.consistency import strip_consistency_predicates
 from repro.core.errors import UnsupportedDistributedQueryError
+from repro.core.semcache import canonicalize_expression
 from repro.core.idable import (
     id_path_of,
     idable_children,
@@ -238,6 +236,18 @@ def _pattern_cache_for(schema):
     return getattr(schema, "compiled_patterns", None)
 
 
+#: Process-wide counters for the two-level (raw spelling -> canonical)
+#: compile-cache keying.  ``canonical_aliases`` counts spellings that
+#: were answered by an existing canonical entry without recompiling --
+#: each one is a compilation the raw-string key would have repeated.
+PATTERN_KEY_STATS = {"canonical_aliases": 0, "canonical_compiles": 0}
+
+
+def pattern_key_stats():
+    """Snapshot of the canonical compile-cache keying counters."""
+    return dict(PATTERN_KEY_STATS)
+
+
 def compile_pattern(query, schema=None, rewrite_sugar=True, use_cache=True):
     """Compile *query* (a string or AST) for distributed evaluation.
 
@@ -250,6 +260,15 @@ def compile_pattern(query, schema=None, rewrite_sugar=True, use_cache=True):
     schema is given) so repeated queries skip the parse/unparse/codegen
     path; compiled patterns are immutable and safe to share.  Pass
     ``use_cache=False`` to force a fresh compilation.
+
+    Cache keys are **two-level**: the exact source string is the fast
+    path (no parse at all on a repeat), and on a raw miss the query is
+    canonicalized (``repro.core.semcache``) and checked again under its
+    canonical spelling -- whitespace, predicate-order, and sugar
+    variants of one query therefore share a single CompiledPattern (the
+    raw spelling is aliased to it for next time) and emit byte-identical
+    subqueries.  With ``rewrite_sugar=False`` the raw AST semantics are
+    wanted verbatim, so no canonicalization is applied.
     """
     cache = None
     cache_key = None
@@ -267,7 +286,17 @@ def compile_pattern(query, schema=None, rewrite_sugar=True, use_cache=True):
         ast = query
         source = ast.unparse()
     if rewrite_sugar:
-        ast = rewrite_consistency_sugar(ast)
+        ast = canonicalize_expression(ast)  # includes the sugar rewrite
+        source = ast.unparse()
+        if cache is not None and cache_key is not None:
+            canonical_key = (source, rewrite_sugar)
+            if canonical_key != cache_key:
+                cached = cache.get(canonical_key)
+                if cached is not None:
+                    # Alias this spelling so its next use is a raw hit.
+                    cache.put(cache_key, cached)
+                    PATTERN_KEY_STATS["canonical_aliases"] += 1
+                    return cached
     if not isinstance(ast, LocationPath) or not ast.absolute:
         raise UnsupportedDistributedQueryError(
             "distributed queries must be absolute location paths; wrap "
@@ -321,6 +350,13 @@ def compile_pattern(query, schema=None, rewrite_sugar=True, use_cache=True):
                               collect_index, is_idable_tag)
     if cache is not None:
         cache.put(cache_key, pattern)
+        if rewrite_sugar:
+            # Also register the canonical spelling, so every future
+            # equivalent spelling aliases to this one compilation.
+            canonical_key = (source, rewrite_sugar)
+            if canonical_key != cache_key:
+                cache.put(canonical_key, pattern)
+            PATTERN_KEY_STATS["canonical_compiles"] += 1
     return pattern
 
 

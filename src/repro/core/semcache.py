@@ -1,0 +1,734 @@
+"""The semantic query cache: canonical keys, freshness buckets, budgets.
+
+Cache hit rate is the whole thesis of Cache-and-Query, but exact-string
+cache keys fragment it: two spellings of the same XPATH, or freshness
+bounds of ``now-28s`` vs ``now-30s``, miss each other entirely and
+re-dispatch WAN subqueries.  This module supplies the three pieces that
+make the caches *semantic*:
+
+**Canonicalization** (:func:`canonicalize`).  Equivalent queries are
+rewritten to one normal form used as the cache key everywhere a query
+string used to be: whitespace and quoting normalize in the unparser,
+``timestamp``/``now`` sugar becomes the canonical function calls,
+redundant ``.`` steps are dropped, predicates within a step (pure
+conjunctive filters in this dialect -- ``position()``/``last()`` are
+rejected at parse time) sort deterministically, commutative operator
+chains (``or``/``and``/``|``) flatten, dedupe and sort, and
+comparisons are mirrored so only ``>``/``>=`` remain with the
+context-reference operand on the left.  Every rewrite is
+semantics-preserving (hypothesis-verified: the canonical query
+evaluates identically to the original over random documents).
+
+**Freshness bucketing** (:class:`FreshnessBuckets`).  Consistency
+tolerances are generalized *up* to configurable bucket boundaries
+(``now-28s`` and ``now-30s`` both key as ``now-30s``), so
+near-identical continuous queries share one cached region.  Sharing a
+key never weakens the answer: the paper's subsumption check is applied
+at serve time -- a bucketed entry is served only when its actual age
+satisfies the *original* (tighter) bound, and the gather driver
+re-asks exactly when a bucket-loosened wire answer fails the original
+predicate (see ``GatherDriver``).
+
+**Measured admission and eviction** (:class:`SemanticCache`).  A
+size-aware LRU with per-entry hit/byte counters replaces unbounded
+growth, with an optional second-chance (doorkeeper) admission policy
+so one-shot queries do not churn entries that earn their keep.
+
+**Prewarming** (:class:`QueryLog`, :func:`prewarm`).  A query log
+captured by ``service.run_live`` replays against a cold cluster to
+warm OA caches before traffic.
+
+Everything reports through the metrics registry (see
+``repro.obs.registry``) and shows up in EXPLAIN output.
+"""
+
+import json
+import threading
+
+from repro.core.consistency import (
+    bucket_consistency_tolerances,
+    rewrite_consistency_sugar,
+)
+from repro.core.lru import LRUCache
+from repro.xpath import parser as xpath_parser
+from repro.xpath.ast import (
+    BinaryOperation,
+    FilterExpression,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    NodeTypeTest,
+    NumberLiteral,
+    Step,
+    UnaryMinus,
+)
+
+#: Default freshness bucket boundaries, in seconds.  Chosen to cover
+#: the paper's 30s-tolerance examples with sub-2x rounding everywhere.
+DEFAULT_BUCKET_BOUNDARIES = (5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 300.0, 900.0)
+
+
+class FreshnessBuckets:
+    """Coarsened freshness tolerances: round *up* to a boundary.
+
+    ``ceiling(28)`` with the default boundaries is ``30``: queries
+    tolerating 28s and 30s of staleness share the 30s bucket.  A
+    tolerance above the largest boundary (or non-positive) is returned
+    unchanged -- bucketing never invents tolerance out of thin air.
+    """
+
+    __slots__ = ("boundaries",)
+
+    def __init__(self, boundaries=DEFAULT_BUCKET_BOUNDARIES):
+        cleaned = sorted(float(b) for b in boundaries)
+        if not cleaned or any(b <= 0 for b in cleaned):
+            raise ValueError("bucket boundaries must be positive")
+        self.boundaries = tuple(cleaned)
+
+    def ceiling(self, tolerance):
+        """The smallest boundary >= *tolerance* (or *tolerance* itself
+        when it exceeds every boundary or is not positive)."""
+        if tolerance is None or tolerance <= 0:
+            return tolerance
+        for boundary in self.boundaries:
+            if boundary >= tolerance:
+                return boundary
+        return tolerance
+
+    @property
+    def signature(self):
+        return self.boundaries
+
+    def __repr__(self):
+        return f"FreshnessBuckets({list(self.boundaries)})"
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+#: Operators whose operand order does not affect the result in this
+#: dialect (no side effects, unordered node-sets).
+_COMMUTATIVE_CHAINS = ("or", "and", "|")
+_MIRROR = {"<": ">", "<=": ">="}
+_SYMMETRIC = ("=", "!=")
+
+
+def _is_redundant_self(step):
+    return (
+        step.axis == "self"
+        and isinstance(step.node_test, NodeTypeTest)
+        and step.node_test.node_type == "node"
+        and not step.predicates
+    )
+
+
+def _flatten_chain(expression, operator):
+    if isinstance(expression, BinaryOperation) and \
+            expression.operator == operator:
+        yield from _flatten_chain(expression.left, operator)
+        yield from _flatten_chain(expression.right, operator)
+    else:
+        yield expression
+
+
+def _is_literal(expression):
+    return isinstance(expression, (Literal, NumberLiteral))
+
+
+def _ordered_predicates(predicates):
+    """Deduplicate and deterministically order a step's predicates.
+
+    Predicates in this dialect are pure conjunctive filters (each node
+    is kept iff every predicate is truthy; ``position()``/``last()``
+    are rejected at parse time), so reordering is semantics-preserving.
+    The sort key is the canonical text, so any spelling of the same
+    predicate set keys identically.
+    """
+    seen = {}
+    for predicate in predicates:
+        seen.setdefault(predicate.unparse(), predicate)
+    return [seen[text] for text in sorted(seen)]
+
+
+def canonicalize_expression(expression):
+    """Rewrite *expression* bottom-up into its canonical form.
+
+    Semantics-preserving by construction; see the module docstring for
+    the rewrite list.  The input tree is never mutated.
+    """
+    expression = rewrite_consistency_sugar(expression)
+    return _canon(expression)
+
+
+def _canon(node):
+    if isinstance(node, LocationPath):
+        steps = [
+            _canon_step(step)
+            for step in node.steps
+            if not _is_redundant_self(step)
+        ]
+        return LocationPath(node.absolute, steps)
+    if isinstance(node, FilterExpression):
+        path = _canon(node.path) if node.path is not None else None
+        return FilterExpression(
+            _canon(node.primary),
+            _ordered_predicates([_canon(p) for p in node.predicates]),
+            path,
+        )
+    if isinstance(node, BinaryOperation):
+        operator = node.operator
+        left = _canon(node.left)
+        right = _canon(node.right)
+        if operator in _MIRROR:
+            operator = _MIRROR[operator]
+            left, right = right, left
+        if operator in _SYMMETRIC:
+            left, right = _order_symmetric(left, right)
+        if operator in _COMMUTATIVE_CHAINS:
+            rebuilt = BinaryOperation(operator, left, right)
+            operands = _ordered_predicates(
+                list(_flatten_chain(rebuilt, operator)))
+            result = operands[0]
+            for operand in operands[1:]:
+                result = BinaryOperation(operator, result, operand)
+            return result
+        return BinaryOperation(operator, left, right)
+    if isinstance(node, UnaryMinus):
+        return UnaryMinus(_canon(node.operand))
+    if isinstance(node, FunctionCall):
+        return FunctionCall(node.name, [_canon(a) for a in node.arguments])
+    return node
+
+
+def _canon_step(step):
+    return Step(step.axis, step.node_test,
+                _ordered_predicates([_canon(p) for p in step.predicates]))
+
+
+def _order_symmetric(left, right):
+    """Canonical operand order for ``=`` / ``!=``.
+
+    The context-reference side goes left, the literal right (so
+    ``'yes' = available`` normalizes to the conventional
+    ``available = 'yes'``); two operands of the same kind order by
+    canonical text.
+    """
+    left_literal = _is_literal(left)
+    right_literal = _is_literal(right)
+    if left_literal and not right_literal:
+        return right, left
+    if right_literal and not left_literal:
+        return left, right
+    if right.unparse() < left.unparse():
+        return right, left
+    return left, right
+
+
+class CanonicalQuery:
+    """One query's canonical identity, exact and bucketed.
+
+    ``key`` is the exact canonical text -- safe wherever the key must
+    mean *precisely* this query (the compile cache).  ``bucket_key``
+    additionally generalizes freshness tolerances up to their bucket
+    boundary -- the *region* identity under which jitter-equivalent
+    continuous queries share cached data.  ``tolerances`` lists each
+    ``(original, bucketed)`` pair, and ``min_tolerance`` is the
+    tightest original bound (the one served data must still satisfy).
+    """
+
+    __slots__ = ("source", "ast", "key", "bucket_ast", "bucket_key",
+                 "tolerances")
+
+    def __init__(self, source, ast, key, bucket_ast, bucket_key, tolerances):
+        self.source = source
+        self.ast = ast
+        self.key = key
+        self.bucket_ast = bucket_ast
+        self.bucket_key = bucket_key
+        self.tolerances = tuple(tolerances)
+
+    @property
+    def bucketed(self):
+        """Whether bucketing changed any tolerance (key != bucket_key)."""
+        return self.key != self.bucket_key
+
+    @property
+    def min_tolerance(self):
+        """The tightest original tolerance, or ``None`` without one."""
+        originals = [orig for orig, _bucket in self.tolerances]
+        return min(originals) if originals else None
+
+    def __repr__(self):
+        return f"CanonicalQuery({self.key!r})"
+
+
+#: Canonicalizations are pure functions of (source, bucket boundaries):
+#: memoized process-wide so the hot query path pays the tree rewrite
+#: once per distinct spelling.
+_CANON_CACHE = LRUCache(max_entries=1024)
+
+
+def canonicalize(query, buckets=None):
+    """Canonicalize *query* (a string or AST) into a :class:`CanonicalQuery`.
+
+    *buckets* (a :class:`FreshnessBuckets`) controls the bucketed key;
+    ``None`` uses the default boundaries.
+    """
+    if buckets is None:
+        buckets = _DEFAULT_BUCKETS
+    cache_key = None
+    if isinstance(query, str):
+        cache_key = (query, buckets.signature)
+        cached = _CANON_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+        source = query
+        ast = xpath_parser.parse(query)
+    else:
+        ast = query
+        source = ast.unparse()
+    canonical_ast = canonicalize_expression(ast)
+    key = canonical_ast.unparse()
+    bucket_ast, tolerances = bucket_consistency_tolerances(
+        canonical_ast, buckets.ceiling)
+    bucket_key = bucket_ast.unparse() if tolerances else key
+    result = CanonicalQuery(source, canonical_ast, key, bucket_ast,
+                            bucket_key, tolerances)
+    if cache_key is not None:
+        _CANON_CACHE.put(cache_key, result)
+    return result
+
+
+_DEFAULT_BUCKETS = FreshnessBuckets()
+
+
+def canonical_key(query):
+    """Shorthand: the exact canonical key of *query*."""
+    return canonicalize(query).key
+
+
+def canonicalization_stats():
+    """Process-wide canonicalizer memo counters."""
+    return dict(_CANON_CACHE.stats, entries=len(_CANON_CACHE))
+
+
+# ----------------------------------------------------------------------
+# The measured cache
+# ----------------------------------------------------------------------
+ADMIT_ALWAYS = "always"
+ADMIT_SECOND_CHANCE = "second-chance"
+
+
+class SemanticCacheConfig:
+    """Tunables for semantic caching at one site.
+
+    ``enabled``
+        turn semantic keying off entirely (exact-string keys, the
+        pre-semcache behaviour) -- the ablation lever the benchmarks
+        flip;
+    ``buckets``
+        the :class:`FreshnessBuckets` (or an iterable of boundaries)
+        used for region keys and wire-subquery generalization;
+        ``None`` disables bucketing but keeps canonical keys;
+    ``max_entries`` / ``max_bytes``
+        the size-aware LRU budget of each :class:`SemanticCache`;
+    ``admission``
+        ``"always"`` admits every store; ``"second-chance"`` admits a
+        key only on its second store within the ghost window, so
+        one-shot queries never displace proven entries;
+    ``ghost_entries``
+        how many rejected first-sighting keys the doorkeeper remembers.
+    """
+
+    def __init__(self, enabled=True, buckets=DEFAULT_BUCKET_BOUNDARIES,
+                 max_entries=512, max_bytes=8 * 1024 * 1024,
+                 admission=ADMIT_ALWAYS, ghost_entries=1024):
+        self.enabled = enabled
+        if buckets is None:
+            self.buckets = None
+        elif isinstance(buckets, FreshnessBuckets):
+            self.buckets = buckets
+        else:
+            self.buckets = FreshnessBuckets(buckets)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        if admission not in (ADMIT_ALWAYS, ADMIT_SECOND_CHANCE):
+            raise ValueError(f"unknown admission policy {admission!r}")
+        self.admission = admission
+        self.ghost_entries = ghost_entries
+
+    def __repr__(self):
+        return (f"SemanticCacheConfig(enabled={self.enabled}, "
+                f"admission={self.admission!r}, "
+                f"max_entries={self.max_entries})")
+
+
+def estimate_bytes(value):
+    """A cheap, stable size estimate for cache accounting.
+
+    Strings count their length, scalars a machine word, fragments the
+    length of their (memoized) serialization, containers the sum of
+    their parts.  Estimates only steer eviction; they need to be
+    monotone and cheap, not exact.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (int, float, bool)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return 8 + sum(estimate_bytes(item) for item in value)
+    try:
+        from repro.xmlkit.serializer import serialize as _serialize
+        return len(_serialize(value))
+    except Exception:
+        return 64
+
+
+class CacheEntry:
+    """One cached value plus its accounting.
+
+    ``tolerance`` records the in-query freshness tolerance of the query
+    that *produced* the value (its tightest bound), so a later query
+    sharing the bucket key but demanding a tighter bound can have the
+    slack charged against its allowed age (the subsumption check).
+    """
+
+    __slots__ = ("key", "exact_key", "value", "nbytes", "computed_at",
+                 "hits", "tolerance")
+
+    def __init__(self, key, exact_key, value, nbytes, computed_at,
+                 tolerance=None):
+        self.key = key
+        self.exact_key = exact_key
+        self.value = value
+        self.nbytes = nbytes
+        self.computed_at = computed_at
+        self.hits = 0
+        self.tolerance = tolerance
+
+    def age(self, now):
+        return now - self.computed_at
+
+    def __repr__(self):
+        return (f"CacheEntry({self.key!r}, {self.nbytes}B, "
+                f"hits={self.hits})")
+
+
+class SemanticCache:
+    """A size-aware LRU of freshness-stamped values, thread-safe.
+
+    Keys are (bucketed) canonical query strings; each entry remembers
+    the *exact* canonical key that produced it, so a hit under a
+    different exact key is counted as a **bucket-coalesced** hit --
+    the measurement the whole subsystem exists to improve.  Serving is
+    always subsumption-checked: an entry is returned only when its age
+    satisfies the caller's (original, tighter) bound.
+    """
+
+    def __init__(self, config=None):
+        self.config = config or SemanticCacheConfig()
+        self._entries = {}
+        self._order = []  # LRU order, least-recent first (small caches)
+        self._ghost = {}
+        self._ghost_order = []
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "stale_rejects": 0,
+            "bucket_coalesced_hits": 0,
+            "stores": 0,
+            "admission_rejects": 0,
+            "evictions": 0,
+            "evicted_bytes": 0,
+        }
+
+    # -- internals (call with the lock held) ---------------------------
+    def _touch(self, key):
+        try:
+            self._order.remove(key)
+        except ValueError:
+            pass
+        self._order.append(key)
+
+    def _evict_to_budget(self):
+        config = self.config
+        while self._order and (
+            len(self._entries) > config.max_entries
+            or self._bytes > config.max_bytes
+        ):
+            victim = self._order.pop(0)
+            entry = self._entries.pop(victim, None)
+            if entry is not None:
+                self._bytes -= entry.nbytes
+                self.stats["evictions"] += 1
+                self.stats["evicted_bytes"] += entry.nbytes
+
+    def _admit(self, key):
+        if self.config.admission == ADMIT_ALWAYS:
+            return True
+        if key in self._entries:
+            return True  # refreshing an existing entry is always allowed
+        if key in self._ghost:
+            del self._ghost[key]
+            self._ghost_order.remove(key)
+            return True
+        self._ghost[key] = True
+        self._ghost_order.append(key)
+        while len(self._ghost_order) > self.config.ghost_entries:
+            dropped = self._ghost_order.pop(0)
+            self._ghost.pop(dropped, None)
+        return False
+
+    # -- the public surface --------------------------------------------
+    def lookup(self, key, now, max_age=None, exact_key=None,
+               tolerance=None):
+        """The entry under *key* iff its age satisfies *max_age*.
+
+        *max_age* is the caller's **original** bound -- never the
+        bucket boundary -- which is exactly the subsumption check that
+        makes serving a shared (bucket-keyed) entry sound.  ``None``
+        max_age never hits (an exact query cannot be served stale).
+
+        When both the entry and the caller carry an in-query freshness
+        *tolerance*, any slack the stored entry has over the caller
+        (entry produced under a 30s bound, caller demands 28s) is
+        charged against the allowed age, so a bucket-shared entry is
+        never served past the caller's *tighter original* bound.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or max_age is None:
+                self.stats["misses"] += 1
+                return None
+            allowed = max_age
+            if tolerance is not None and entry.tolerance is not None:
+                allowed = max_age - max(0.0, entry.tolerance - tolerance)
+            if entry.age(now) > allowed:
+                self.stats["misses"] += 1
+                self.stats["stale_rejects"] += 1
+                return None
+            entry.hits += 1
+            self.stats["hits"] += 1
+            if exact_key is not None and entry.exact_key != exact_key:
+                self.stats["bucket_coalesced_hits"] += 1
+            self._touch(key)
+            return entry
+
+    def store(self, key, value, now, exact_key=None, nbytes=None,
+              tolerance=None):
+        """Admit *value* under *key*; returns the entry or ``None``.
+
+        ``None`` means the admission policy turned the store down (a
+        first-sighting key under second-chance admission).
+        """
+        with self._lock:
+            if not self._admit(key):
+                self.stats["admission_rejects"] += 1
+                return None
+            old = self._entries.get(key)
+            if old is not None:
+                self._bytes -= old.nbytes
+            if nbytes is None:
+                nbytes = estimate_bytes(value) + 64
+            entry = CacheEntry(key, exact_key if exact_key is not None
+                               else key, value, nbytes, now,
+                               tolerance=tolerance)
+            self._entries[key] = entry
+            self._bytes += nbytes
+            self._touch(key)
+            self.stats["stores"] += 1
+            self._evict_to_budget()
+            return entry
+
+    def peek(self, key):
+        """The entry under *key* without touching counters or LRU order.
+
+        Observability surfaces (EXPLAIN) use this so inspecting the
+        cache never distorts the hit/miss statistics it reports.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
+    def invalidate(self, key=None):
+        with self._lock:
+            if key is None:
+                self._entries.clear()
+                self._order.clear()
+                self._bytes = 0
+            else:
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._bytes -= entry.nbytes
+                    try:
+                        self._order.remove(key)
+                    except ValueError:
+                        pass
+
+    @property
+    def nbytes(self):
+        return self._bytes
+
+    def keys(self):
+        with self._lock:
+            return list(self._order)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def metrics(self):
+        """The registry-facing snapshot: counters plus byte gauges."""
+        with self._lock:
+            return dict(
+                self.stats,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                ghost_entries=len(self._ghost),
+            )
+
+    def __repr__(self):
+        return (f"SemanticCache({len(self)} entries, {self.nbytes}B, "
+                f"hits={self.stats['hits']})")
+
+
+# ----------------------------------------------------------------------
+# Query logs and prewarming
+# ----------------------------------------------------------------------
+class QueryLog:
+    """A bounded, replayable record of served queries.
+
+    ``service.run_live`` appends to one when asked; :func:`prewarm`
+    replays one against a cold cluster.  Saved as JSONL so logs from
+    long-running deployments stream without loading whole files.
+    """
+
+    def __init__(self, max_records=100_000):
+        self.max_records = max_records
+        self._records = []
+        self._lock = threading.Lock()
+
+    def record(self, query, query_type=None, site=None):
+        entry = {"query": str(query)}
+        if query_type is not None:
+            entry["type"] = query_type
+        if site is not None:
+            entry["site"] = site
+        with self._lock:
+            self._records.append(entry)
+            if len(self._records) > self.max_records:
+                del self._records[: len(self._records) - self.max_records]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self):
+        with self._lock:
+            return iter(list(self._records))
+
+    def save(self, path):
+        with self._lock:
+            records = list(self._records)
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in records:
+                handle.write(json.dumps(entry, sort_keys=True))
+                handle.write("\n")
+        return len(records)
+
+    @classmethod
+    def load(cls, path, max_records=100_000):
+        log = cls(max_records=max_records)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                log.record(entry["query"], query_type=entry.get("type"),
+                           site=entry.get("site"))
+        return log
+
+    def unique_queries(self):
+        """Deduplicated queries by canonical key, first spelling wins.
+
+        Replaying 10k logged queries that canonicalize to 40 regions
+        costs 40 gathers -- deduplication is what makes prewarming
+        cheap enough to run before every deployment.
+        """
+        seen = {}
+        for entry in self:
+            try:
+                key = canonical_key(entry["query"])
+            except Exception:
+                key = entry["query"]
+            seen.setdefault(key, entry)
+        return list(seen.values())
+
+
+def prewarm(cluster, log, now=None, limit=None, deduplicate=True):
+    """Replay *log* against *cluster* to warm its OA caches.
+
+    Each logged query routes to its LCA site and runs through that
+    site's gather driver exactly as live traffic would, filling the
+    site database (aggressive caching) and the aggregate cache.
+    Returns a report dict: queries replayed, failures, per-site counts.
+
+    *log* may be a :class:`QueryLog` or any iterable of query strings /
+    ``{"query": ...}`` dicts.  With *deduplicate* (default) the replay
+    collapses canonical duplicates first.
+    """
+    from repro.core.gather import SCALAR_WRAPPERS
+    from repro.xpath.ast import FunctionCall as _FunctionCall
+
+    if isinstance(log, QueryLog):
+        entries = log.unique_queries() if deduplicate else list(log)
+    else:
+        entries = [
+            entry if isinstance(entry, dict) else {"query": entry}
+            for entry in log
+        ]
+        if deduplicate:
+            seen = {}
+            for entry in entries:
+                try:
+                    key = canonical_key(entry["query"])
+                except Exception:
+                    key = entry["query"]
+                seen.setdefault(key, entry)
+            entries = list(seen.values())
+    if limit is not None:
+        entries = entries[:limit]
+
+    replayed = 0
+    failures = 0
+    by_site = {}
+    for entry in entries:
+        query = entry["query"]
+        try:
+            site, _path = cluster.route_query(query)
+            driver = cluster.agent(site).driver
+            ast = xpath_parser.parse(query)
+            if isinstance(ast, _FunctionCall) and ast.name in SCALAR_WRAPPERS:
+                driver.answer_scalar(ast, now=now)
+            else:
+                driver.gather(ast, now=now)
+            driver.note_prewarm()
+        except Exception:
+            failures += 1
+            continue
+        replayed += 1
+        by_site[site] = by_site.get(site, 0) + 1
+    return {
+        "replayed": replayed,
+        "failures": failures,
+        "unique": len(entries),
+        "by_site": by_site,
+    }

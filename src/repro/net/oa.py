@@ -88,12 +88,19 @@ class OAConfig:
         its refresh fails terminally -- an explicit relaxation of the
         paper's query-based consistency (Section 4), reported under
         ``stale_served`` in the completeness report.  Off by default.
+    ``semcache``
+        the :class:`~repro.core.semcache.SemanticCacheConfig` governing
+        canonical cache keys, freshness bucketing, and the aggregate
+        cache's admission/eviction budget.  ``None`` uses the defaults
+        (semantic keying on); pass ``SemanticCacheConfig(enabled=False)``
+        for the legacy exact-string behaviour.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
                  fast_codegen=True, generalization=GENERALIZE_ANSWER,
                  executor=None, retry_policy=None, breaker=None,
-                 partial_answers=True, stale_on_error=False):
+                 partial_answers=True, stale_on_error=False,
+                 semcache=None):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
@@ -103,6 +110,7 @@ class OAConfig:
         self.breaker = breaker
         self.partial_answers = partial_answers
         self.stale_on_error = stale_on_error
+        self.semcache = semcache
 
 
 class OrganizingAgent:
@@ -149,6 +157,7 @@ class OrganizingAgent:
             executor=self.executor,
             send_many=self._send_subqueries,
             stale_on_error=self.config.stale_on_error,
+            semcache=self.config.semcache,
         )
         self.continuous = ContinuousQueryManager(self)
         self.stats = {

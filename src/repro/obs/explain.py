@@ -25,6 +25,7 @@ from repro.core.answer import Subquery
 from repro.core.gather import SubqueryFailure
 from repro.core.idable import id_path_of
 from repro.core.qeg import run_qeg
+from repro.core.semcache import canonicalize
 from repro.core.status import Status
 from repro.xpath import parser as xpath_parser
 from repro.xpath.analysis import extract_id_path
@@ -86,7 +87,8 @@ class ExplainReport:
     """The structured output of an EXPLAIN run."""
 
     def __init__(self, query, site, lca_path, decisions, plan,
-                 local_results, routed_site=None, analyze=None):
+                 local_results, routed_site=None, analyze=None,
+                 cache=None):
         self.query = query
         self.site = site
         self.lca_path = tuple(tuple(entry) for entry in lca_path)
@@ -95,6 +97,10 @@ class ExplainReport:
         self.local_results = local_results
         self.routed_site = routed_site
         self.analyze = analyze
+        #: Semantic-cache view: canonical/bucket keys, tolerance
+        #: mapping, and the aggregate-cache entry that would serve this
+        #: query (``None`` when the subsystem is disabled).
+        self.cache = cache
 
     @property
     def complete_locally(self):
@@ -121,6 +127,8 @@ class ExplainReport:
             "decisions": list(self.decisions),
             "plan": list(self.plan),
         }
+        if self.cache is not None:
+            out["cache"] = self.cache
         if self.analyze is not None:
             out["analyze"] = self.analyze
         return out
@@ -152,8 +160,30 @@ class ExplainReport:
                 lines.append(
                     f"    {where:<12} {entry['query']}"
                     f"  [{entry['reason']}{scalar}]")
+                if entry.get("wire_query"):
+                    lines.append(
+                        f"    {'':<12} ~> {entry['wire_query']}"
+                        "  [freshness bucket]")
         else:
             lines.append("  subquery plan: (none -- answerable locally)")
+        if self.cache is not None and self.cache.get("enabled"):
+            lines.append("  semantic cache:")
+            lines.append(f"    canonical: {self.cache.get('canonical_key')}")
+            if self.cache.get("bucketed"):
+                pairs = ", ".join(
+                    f"{orig:g}s->{bucket:g}s"
+                    for orig, bucket in self.cache.get("tolerances", []))
+                lines.append(
+                    f"    bucket:    {self.cache.get('bucket_key')}"
+                    f"  ({pairs})")
+            aggregate = self.cache.get("aggregate")
+            if aggregate is not None:
+                kind = ("bucket-coalesced hit" if aggregate["coalesced"]
+                        else "hit")
+                lines.append(
+                    f"    aggregate: cached ({kind} candidate, "
+                    f"age {aggregate['age']:g}s, "
+                    f"hits {aggregate['hits']})")
         lines.append(f"  local results: {self.local_results}")
         if self.analyze is not None:
             a = self.analyze
@@ -196,9 +226,56 @@ def _plan_entry(agent, subquery, failed=None):
         "scalar": subquery.scalar,
         "target": _resolve_target(agent, subquery.anchor_path),
     }
+    wire = _bucketed_wire(agent.driver, subquery)
+    if wire is not None:
+        entry["wire_query"] = wire
     if failed is not None:
         entry["failed"] = failed
     return entry
+
+
+def _bucketed_wire(driver, subquery):
+    """The bucket-loosened wire spelling the driver would dispatch,
+    or ``None`` when the ask goes out verbatim."""
+    config = driver.semcache
+    if not config.enabled or config.buckets is None or subquery.scalar:
+        return None
+    try:
+        canon = canonicalize(subquery.query, buckets=config.buckets)
+    except Exception:
+        return None
+    return canon.bucket_key if canon.bucketed else None
+
+
+def _cache_section(driver, source, now):
+    """The semantic-cache view of *source* for the report.
+
+    Uses :meth:`SemanticCache.peek` so building an EXPLAIN never
+    distorts the very hit/miss counters it reports.
+    """
+    config = driver.semcache
+    if not config.enabled:
+        return {"enabled": False}
+    try:
+        canon = canonicalize(source, buckets=config.buckets)
+    except Exception:
+        return {"enabled": True}
+    info = {
+        "enabled": True,
+        "canonical_key": canon.key,
+        "bucket_key": canon.bucket_key,
+        "bucketed": canon.bucketed,
+        "tolerances": [[orig, bucket]
+                       for orig, bucket in canon.tolerances],
+    }
+    entry = driver.aggregates.cache.peek(canon.bucket_key)
+    if entry is not None:
+        info["aggregate"] = {
+            "age": round(entry.age(now), 3),
+            "coalesced": entry.exact_key != canon.key,
+            "hits": entry.hits,
+        }
+    return info
 
 
 def _extraction_lca(query):
@@ -268,4 +345,5 @@ def build_explain(agent, query, analyze=False, now=None,
         local_results=result.stats.get("results_local", 0),
         routed_site=routed_site,
         analyze=analysis,
+        cache=_cache_section(driver, source, now),
     )

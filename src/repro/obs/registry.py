@@ -319,6 +319,53 @@ def durability_counters(agents):
     return totals
 
 
+def semcache_counters(agents):
+    """Aggregate semantic-cache counters across organizing agents.
+
+    Sums every driver's aggregate-cache hit/miss/coalesce/byte figures
+    and its bucket/prewarm counters, computes the overall hit ratio,
+    and snapshots the process-wide canonicalizer memo and compile-key
+    stats once (tagged ``scope: process`` -- never summed per site).
+    """
+    from repro.core.qeg import pattern_key_stats
+    from repro.core.semcache import canonicalization_stats
+
+    if hasattr(agents, "values"):
+        agents = agents.values()
+    totals = {
+        "hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "stale_rejects": 0,
+        "bucket_coalesced_hits": 0,
+        "admission_rejects": 0,
+        "evictions": 0,
+        "entries": 0,
+        "bytes": 0,
+        "bucket_generalized": 0,
+        "bucket_rechecks": 0,
+        "prewarm_queries": 0,
+    }
+    for agent in agents:
+        driver = agent.driver
+        aggregate = driver.aggregates.metrics()
+        for key in ("hits", "misses", "stores", "stale_rejects",
+                    "bucket_coalesced_hits", "admission_rejects",
+                    "evictions", "entries", "bytes"):
+            totals[key] += aggregate.get(key, 0)
+        for key in ("bucket_generalized", "bucket_rechecks",
+                    "prewarm_queries"):
+            totals[key] += driver.stats.get(key, 0)
+    lookups = totals["hits"] + totals["misses"]
+    totals["hit_ratio"] = (
+        round(totals["hits"] / lookups, 3) if lookups else 0.0
+    )
+    totals["canonicalizer"] = dict(canonicalization_stats(),
+                                   scope="process")
+    totals["compile_keys"] = dict(pattern_key_stats(), scope="process")
+    return totals
+
+
 def build_site_registry(agent):
     """A registry absorbing one organizing agent's metric surfaces.
 
@@ -337,6 +384,7 @@ def build_site_registry(agent):
     registry.register_collector("continuous",
                                 lambda: dict(agent.continuous.stats))
     registry.register_collector("engine", agent.engine_counters)
+    registry.register_collector("semcache", agent.driver.semcache_counters)
     registry.register_collector("breakers", agent.health_snapshot)
     if getattr(agent, "durability", None) is not None:
         registry.register_collector("durability", agent.durability.counters)
@@ -364,6 +412,8 @@ def build_cluster_registry(cluster):
     )
     registry.register_collector(
         "faults", lambda: fault_counters(cluster.agents))
+    registry.register_collector(
+        "semcache", lambda: semcache_counters(cluster.agents))
     if getattr(cluster, "durability_config", None) is not None:
         registry.register_collector(
             "durability", lambda: durability_counters(cluster.agents))

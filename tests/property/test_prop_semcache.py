@@ -1,0 +1,131 @@
+"""Property-based tests for the semantic cache.
+
+The canonicalizer's whole contract is "semantics-preserving": for any
+query, the canonical form must evaluate identically over any document.
+Hypothesis drives that directly, plus the bucket-serving invariant --
+a freshness-bucketed cache entry is never served past the caller's
+original (tighter) bound.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.semcache import (
+    FreshnessBuckets,
+    SemanticCache,
+    canonical_key,
+)
+from repro.xmlkit import Element
+from repro.xpath import compile_xpath
+
+_tags = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def documents(draw, depth=3):
+    element = Element(draw(_tags), attrib={
+        "id": str(draw(st.integers(0, 9))),
+        "v": str(draw(st.integers(0, 5))),
+    })
+    if depth > 0:
+        for child in draw(st.lists(documents(depth=depth - 1), max_size=3)):
+            element.append(child)
+    return element
+
+
+_predicates = st.sampled_from([
+    "@v='1'", "@id='2'", "b", "not(@v='0')", "@v < 2", "'1' = @v",
+    "@id='1' or @v='2'", "count(b) = 1", "2 >= @v",
+])
+
+
+@st.composite
+def queries(draw):
+    base = draw(st.sampled_from(["/a", "//a", "//b", "/a/b", "//*",
+                                 "/a/b | /a/c", "//b | //a"]))
+    predicates = draw(st.lists(_predicates, max_size=3))
+    query = base + "".join(f"[{p}]" for p in predicates)
+    wrapper = draw(st.sampled_from([None, "count", "boolean"]))
+    if wrapper is not None:
+        query = f"{wrapper}({query})"
+    return query
+
+
+def _evaluate(query, doc):
+    return compile_xpath(query).evaluate(doc)
+
+
+class TestCanonicalizationPreservesSemantics:
+    @given(queries(), documents())
+    @settings(max_examples=80, deadline=None)
+    def test_canonical_form_evaluates_identically(self, query, doc):
+        original = _evaluate(query, doc)
+        canonical = _evaluate(canonical_key(query), doc)
+        if isinstance(original, list):
+            # Union canonicalization may reorder branches; the node-set
+            # itself must be identical.
+            assert {id(n) for n in original} == {id(n) for n in canonical}
+        elif isinstance(original, float) and math.isnan(original):
+            assert math.isnan(canonical)
+        else:
+            assert original == canonical
+
+    @given(queries())
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalization_is_idempotent(self, query):
+        once = canonical_key(query)
+        assert canonical_key(once) == once
+
+    @given(st.sampled_from(["/a/b", "//b", "/a"]),
+           st.permutations(["@v='1'", "@id='2'", "not(@v='0')"]))
+    @settings(max_examples=50, deadline=None)
+    def test_predicate_order_never_changes_key(self, base, ordering):
+        reference = canonical_key(
+            base + "".join(f"[{p}]" for p in sorted(ordering)))
+        permuted = canonical_key(
+            base + "".join(f"[{p}]" for p in ordering))
+        assert permuted == reference
+
+    @given(st.integers(1, 900))
+    @settings(max_examples=50, deadline=None)
+    def test_consistency_sugar_always_shares_key(self, tolerance):
+        sugar = f"/a/b[timestamp > now - {tolerance}]"
+        explicit = f"/a/b[timestamp() > current-time() - {tolerance}]"
+        assert canonical_key(sugar) == canonical_key(explicit)
+
+
+class TestBucketInvariants:
+    @given(st.floats(min_value=0.01, max_value=5000,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_ceiling_never_tightens_and_is_idempotent(self, tolerance):
+        buckets = FreshnessBuckets()
+        bucketed = buckets.ceiling(tolerance)
+        assert bucketed >= tolerance
+        assert buckets.ceiling(bucketed) == bucketed
+
+    @given(st.floats(min_value=0.5, max_value=899,
+                     allow_nan=False, allow_infinity=False),
+           st.floats(min_value=0.0, max_value=1000,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_shared_entry_never_served_past_original_bound(
+            self, tolerance, age):
+        """The subsumption invariant, end to end at the cache layer.
+
+        An entry produced under the *bucketed* (looser) tolerance is
+        served to a caller with the *original* bound only while it
+        still satisfies that original bound.
+        """
+        buckets = FreshnessBuckets()
+        bucketed = buckets.ceiling(tolerance)
+        cache = SemanticCache()
+        cache.store("region", 1, now=0.0, tolerance=bucketed)
+        entry = cache.lookup("region", now=age, max_age=tolerance,
+                             tolerance=tolerance)
+        if entry is not None:
+            assert age <= tolerance
+        elif age + (bucketed - tolerance) <= tolerance:
+            raise AssertionError(
+                "entry satisfying the original bound was rejected")
