@@ -13,10 +13,13 @@ workloads (``parkingSpace[available='yes']`` selections):
 """
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.core import GENERALIZE_AGGRESSIVE, GENERALIZE_ANSWER
 from repro.net import Cluster, OAConfig
 from repro.service import QueryWorkload, build_parking_document
+
+RESULTS_FILE = "BENCH_ablation_generalized.json"
 
 
 def _run(config):
@@ -79,6 +82,14 @@ def test_ablation_generalization(benchmark, paper_config):
              "predicate-failed stubs (one subquery per incomplete node, "
              "as the paper's QEG does) on every repeat; aggressive mode "
              "over-fetches once and then repeats are free",
+    )
+    write_report(
+        RESULTS_FILE, "ablation_generalized",
+        params={"queries": 40, "workload": "QW-3 selection=available",
+                "seed": 401},
+        metrics={label: {key: round(value, 3)
+                         for key, value in stats.items()}
+                 for label, stats in table.items()},
     )
 
     # Aggressive fetches more on the very first miss...

@@ -13,10 +13,13 @@ traffic on the paper's own example shapes:
 """
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.core import BOOLEAN_PROBE, FETCH_SUBTREE
 from repro.net import Cluster, OAConfig
 from repro.service import build_parking_document
+
+RESULTS_FILE = "BENCH_ablation_nesting.json"
 
 PREFIX = ("/usRegion[@id='NE']/state[@id='PA']/county[@id='Allegheny']")
 
@@ -65,6 +68,16 @@ def test_ablation_nesting_strategies(benchmark, paper_config):
                 ["results", "messages", "KiB"], rows,
                 note="paper: fetch-subtree implemented; probes proposed "
                      "to avoid over-fetching on existence predicates")
+    write_report(
+        RESULTS_FILE, "ablation_nesting",
+        params={"queries": ["min-price", "frivolous"],
+                "strategies": ["fetch-subtree", "boolean-probe"]},
+        metrics={
+            f"{name} / {label}": {key: round(value, 3)
+                                  for key, value in stats.items()}
+            for (name, label), stats in table.items()
+        },
+    )
 
     # Both strategies return the same answers.
     for name in ("min-price", "frivolous"):

@@ -9,6 +9,7 @@ simulated experiments.
 
 import pytest
 
+from benchmarks.reporting import write_report
 from repro.service import (
     ParkingConfig,
     QueryWorkload,
@@ -18,6 +19,37 @@ from repro.service import (
 )
 from repro.xmlkit import parse_fragment, serialize
 from repro.xpath import compile_xpath
+
+RESULTS_FILE = "BENCH_engine_micro.json"
+
+
+@pytest.fixture(scope="module")
+def _engine_report():
+    """Collects every micro-benchmark's timings; writes the envelope
+    once the module finishes (this file has no single aggregating
+    test, so the report spans all of them)."""
+    collected = {}
+    yield collected
+    metrics = {}
+    for name, bench in sorted(collected.items()):
+        stats = getattr(getattr(bench, "stats", None), "stats", None)
+        if stats is None:
+            continue
+        metrics[name] = {
+            "mean_s": stats.mean,
+            "min_s": stats.min,
+            "max_s": stats.max,
+            "rounds": getattr(stats, "rounds", len(stats.data)),
+        }
+    if metrics:
+        write_report(RESULTS_FILE, "engine_micro",
+                     params={"config": "paper_small"}, metrics=metrics)
+
+
+@pytest.fixture(autouse=True)
+def _collect_benchmark(request, benchmark, _engine_report):
+    yield
+    _engine_report[request.node.name] = benchmark
 
 
 @pytest.fixture(scope="module")

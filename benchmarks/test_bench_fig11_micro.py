@@ -19,10 +19,13 @@ regenerated from the cost model over real query traces.
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.net import OAConfig
 from repro.service import ParkingConfig, build_parking_document, type1_query
 from repro.sim import CostModel, SimulatedCluster
+
+RESULTS_FILE = "BENCH_fig11_micro.json"
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +229,19 @@ def test_figure11_breakdown(benchmark, paper_config):
                 ["create", "execute", "comm", "rest", "total"], rows,
                 note="paper shape: direct routing >50% cheaper; fast "
                      "creation >50% cheaper; 8x data < +20% execute")
+    write_report(
+        RESULTS_FILE, "fig11_micro",
+        params={"settings": ["small+naive", "small+fast", "large+fast"],
+                "entry_levels": ["county", "city", "neighborhood"]},
+        metrics={
+            f"{label} @ {level}": {
+                part: round(1000 * value, 4)
+                for part, value in table[(label, level)].items()
+            }
+            for label in ("small+naive", "small+fast", "large+fast")
+            for level in ("county", "city", "neighborhood")
+        },
+    )
 
     # Direct routing saves over ~half versus entering at the county.
     for label in ("small+naive", "small+fast", "large+fast"):

@@ -14,8 +14,18 @@ Paper result (read off the figure):
   every other architecture on QW-Mix.
 """
 
-from benchmarks.conftest import print_table, run_point, workload_suite
+from benchmarks.conftest import (
+    CLIENTS,
+    DURATION,
+    UPDATE_RATE,
+    print_table,
+    run_point,
+    workload_suite,
+)
+from benchmarks.reporting import write_report
 from repro.arch import all_architectures
+
+RESULTS_FILE = "BENCH_fig7_architectures.json"
 
 
 def _run(config, document):
@@ -43,6 +53,17 @@ def test_figure7_architecture_throughputs(benchmark, paper_config,
         columns, rows,
         note="paper shape: arch1 < arch2 < arch3; arch4 best on QW-Mix, "
              "~25% below arch3 on QW-1",
+    )
+    write_report(
+        RESULTS_FILE, "fig7_architectures",
+        params={"duration_s": DURATION, "clients": CLIENTS,
+                "update_rate": UPDATE_RATE,
+                "architectures": [a.name for a in architectures]},
+        metrics={
+            workload: {a.name: table[(workload, a.name)]
+                       for a in architectures}
+            for workload, _ in workload_suite(paper_config)
+        },
     )
 
     t = table

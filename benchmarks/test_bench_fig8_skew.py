@@ -11,13 +11,15 @@ caching would re-concentrate the hot data at one site (the cache-bypass
 problem Section 5.5 calls out).
 """
 
-from benchmarks.conftest import print_table, run_point
+from benchmarks.conftest import DURATION, print_table, run_point
+from benchmarks.reporting import write_report
 from repro.arch import balanced_hot_neighborhood, hierarchical
 from repro.net import OAConfig
 from repro.service import QueryWorkload
 
 HOT_CITY = "Pittsburgh"
 HOT_NEIGHBORHOOD = "Oakland"
+RESULTS_FILE = "BENCH_fig8_skew.json"
 
 
 def _workloads(config, skewed):
@@ -63,6 +65,22 @@ def test_figure8_skewed_load_balancing(benchmark, paper_config,
         "Figure 8: skewed workload (90% on one neighborhood)",
         ["original", "balanced", "speedup"], rows,
         note="paper shape: balanced ~4x original on the skewed workload",
+    )
+    write_report(
+        RESULTS_FILE, "fig8_skew",
+        params={"duration_s": DURATION, "clients": 16, "skew": 0.9,
+                "hot_city": HOT_CITY,
+                "hot_neighborhood": HOT_NEIGHBORHOOD},
+        metrics={
+            name: {
+                "original": table[(name, "original")],
+                "balanced": table[(name, "balanced")],
+                "speedup": round(
+                    table[(name, "balanced")]
+                    / max(table[(name, "original")], 1e-9), 3),
+            }
+            for name in ("QW-1", "QW-2", "QW-Mix2")
+        },
     )
 
     # The balanced placement must win clearly on every skewed workload.

@@ -14,6 +14,7 @@ take effect for the query stream.
 """
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.arch import hierarchical
 from repro.net import OAConfig
 from repro.service import QueryWorkload, UpdateWorkload
@@ -25,6 +26,7 @@ HOT_NEIGHBORHOOD = "Oakland"
 REBALANCE_START = 50.0
 REBALANCE_END = 100.0
 TOTAL = 160.0
+RESULTS_FILE = "BENCH_fig9_dynamic.json"
 
 
 def _run(config, document):
@@ -76,6 +78,20 @@ def test_figure9_dynamic_load_balancing(benchmark, paper_config,
     after_rate = sum(after_window) / (5.0 * len(after_window))
     print(f"\nbefore: {before_rate:.1f} q/s   after: {after_rate:.1f} q/s   "
           f"gain: {after_rate / before_rate:.2f}x")
+    write_report(
+        RESULTS_FILE, "fig9_dynamic",
+        params={"duration_s": TOTAL, "clients": 16,
+                "rebalance_start_s": REBALANCE_START,
+                "rebalance_end_s": REBALANCE_END, "skew": 0.9,
+                "hot_city": HOT_CITY,
+                "hot_neighborhood": HOT_NEIGHBORHOOD},
+        metrics={
+            "before_qps": round(before_rate, 3),
+            "after_qps": round(after_rate, 3),
+            "gain": round(after_rate / before_rate, 3),
+            "trace": [[t, count] for t, count in trace],
+        },
+    )
 
     # The paper reports ~3x; require a clear (>=2x) improvement, with
     # the system having answered queries in every phase (the final bin

@@ -11,12 +11,15 @@ the linear-scaling *shape* is the reproduced claim).
 """
 
 from benchmarks.conftest import print_table
+from benchmarks.reporting import write_report
 from repro.arch import all_architectures, hierarchical
 from repro.service import (
     QueryWorkload,
     UpdateWorkload,
 )
 from repro.sim import CostModel, SimulatedCluster
+
+RESULTS_FILE = "BENCH_updates.json"
 
 
 class _IdleWorkload:
@@ -66,6 +69,14 @@ def test_section52_update_throughput(benchmark, paper_config,
     print_table("Section 5.2: sustained update rate (updates/sec)",
                 ["sustained"], rows,
                 note="paper: ~200/s per OA, scaling linearly with #OAs")
+    write_report(
+        RESULTS_FILE, "updates",
+        params={"duration_s": 20.0, "seed": 77},
+        metrics={
+            f"{label} @ {offered}": round(sustained, 3)
+            for label, offered, sustained in results
+        },
+    )
 
     by_setup = {}
     for label, offered, sustained in results:

@@ -71,7 +71,8 @@ class SubqueryFailure:
     ``causes`` lists what every attempt saw, last entry last.
     """
 
-    __slots__ = ("subquery", "attempts", "causes", "stale_served")
+    __slots__ = ("subquery", "attempts", "causes", "stale_served",
+                 "replica_too_stale")
 
     def __init__(self, subquery, attempts, causes=()):
         self.subquery = subquery
@@ -80,6 +81,11 @@ class SubqueryFailure:
         #: Set by the driver when ``stale_on_error`` served the cached
         #: copy of this region beyond its freshness bound.
         self.stale_served = False
+        #: Set by the replication layer when a replica held a copy of
+        #: the region but its stamp violated the query's freshness
+        #: bound -- the region is still excised from the answer, the
+        #: completeness report just says *why* failover refused it.
+        self.replica_too_stale = False
 
     @property
     def id_path(self):
@@ -103,6 +109,46 @@ class SubqueryFailure:
                 f"attempts={self.attempts}, cause={self.cause!r})")
 
 
+class ReplicaServed:
+    """A subquery answered from a replica after its owner failed.
+
+    Returned through ``send``/``send_many`` (like
+    :class:`SubqueryFailure`, but carrying data): the replication
+    layer verified the replica's stamp against the wire query's
+    freshness bound before handing this back, so the driver merges
+    ``fragment`` exactly as an owner answer -- and the completeness
+    report annotates the region ``served_by_replica`` instead of
+    counting it against completeness.
+    """
+
+    __slots__ = ("subquery", "fragment", "replica", "owner", "age")
+
+    def __init__(self, subquery, fragment, replica, owner, age=0.0):
+        self.subquery = subquery
+        self.fragment = fragment
+        self.replica = replica
+        self.owner = owner
+        self.age = float(age)
+
+    @property
+    def id_path(self):
+        return self.subquery.anchor_path
+
+    def report(self):
+        return {
+            "id_path": [list(entry) for entry in self.subquery.anchor_path],
+            "query": self.subquery.query,
+            "replica": self.replica,
+            "owner": self.owner,
+            "age": round(self.age, 3),
+        }
+
+    def __repr__(self):
+        return (f"ReplicaServed({self.subquery.query!r}, "
+                f"replica={self.replica!r}, owner={self.owner!r}, "
+                f"age={self.age:g})")
+
+
 class GatherOutcome:
     """Everything a gather run produced, for answering and accounting.
 
@@ -114,13 +160,18 @@ class GatherOutcome:
     """
 
     def __init__(self, pattern, wire_answer, rounds, subqueries_sent,
-                 view, failures=()):
+                 view, failures=(), replica_served=()):
         self.pattern = pattern
         self.wire_answer = wire_answer
         self.rounds = rounds
         self.subqueries_sent = subqueries_sent
         self.view = view  # the database the answer was extracted from
         self.failures = list(failures)
+        #: One :class:`ReplicaServed` per subquery answered by a
+        #: replica instead of its (dead) owner.  The regions are fully
+        #: represented -- the answer stays *complete* -- but the report
+        #: names the replica and the copy's age.
+        self.replica_served = list(replica_served)
 
     @property
     def used_remote_data(self):
@@ -145,14 +196,25 @@ class GatherOutcome:
         ``unreachable`` lists regions absent from the answer (with the
         subquery, attempt count and per-attempt causes);
         ``stale_served`` lists regions served from cache beyond their
-        freshness bound under ``stale_on_error``.
+        freshness bound under ``stale_on_error``;
+        ``served_by_replica`` lists regions a replica answered for a
+        dead owner (fresh per the query's bound -- still complete);
+        ``replica_too_stale`` lists regions a replica held but refused
+        to serve because its copy violated the bound (still excised,
+        like ``unreachable``, with the refusal spelled out).
         """
         return {
             "complete": self.complete,
             "unreachable": [failure.report() for failure in self.failures
-                            if not failure.stale_served],
+                            if not failure.stale_served
+                            and not failure.replica_too_stale],
             "stale_served": [failure.report() for failure in self.failures
                              if failure.stale_served],
+            "served_by_replica": [served.report()
+                                  for served in self.replica_served],
+            "replica_too_stale": [failure.report()
+                                  for failure in self.failures
+                                  if failure.replica_too_stale],
         }
 
 
@@ -261,6 +323,7 @@ class GatherDriver:
             "bucket_generalized": 0,
             "bucket_rechecks": 0,
             "prewarm_queries": 0,
+            "replica_served": 0,
         }
 
     # ------------------------------------------------------------------
@@ -304,6 +367,7 @@ class GatherDriver:
             bucket_rechecks = 0
             sent = []
             failures = []
+            replica_served = []
             rounds = 0
             max_fanout = 0
             result = None
@@ -367,6 +431,23 @@ class GatherDriver:
                         sent.append(subquery)
                         key = (subquery.query, subquery.scalar)
                         answered_keys.add(key)
+                        if isinstance(reply, ReplicaServed):
+                            # A replica answered for the dead owner; the
+                            # replication layer already checked its
+                            # stamp against the wire query's freshness
+                            # bound, so the fragment merges like any
+                            # owner answer.  The bucketed-key entry
+                            # stays: if the copy fails the caller's
+                            # exact (tighter) bound the escalation path
+                            # re-asks -- and the re-ask's failover is
+                            # judged at the exact bound.
+                            replica_served.append(reply)
+                            answered.append(subquery)
+                            if subquery.scalar:
+                                probe_results[subquery.query] = None
+                            elif reply.fragment is not None:
+                                view.store_fragment(reply.fragment)
+                            continue
                         if isinstance(reply, SubqueryFailure):
                             # Terminal failure: record it, never re-ask
                             # (the key above suppresses re-emission),
@@ -408,8 +489,10 @@ class GatherDriver:
                     self.stats["partial_gathers"] += 1
                 self.stats["bucket_generalized"] += bucket_generalized
                 self.stats["bucket_rechecks"] += bucket_rechecks
+                self.stats["replica_served"] += len(replica_served)
             return GatherOutcome(pattern, result.answer, rounds, sent, view,
-                                 failures=failures)
+                                 failures=failures,
+                                 replica_served=replica_served)
 
     def _note_failure(self, failure, subquery, view):
         """Classify a terminal failure: stale-servable or unreachable.

@@ -34,6 +34,9 @@ from repro.net.messages import (
     ErrorMessage,
     Message,
     QueryMessage,
+    RehydrateAnswer,
+    RehydrateRequest,
+    ReplicateMessage,
     UpdateMessage,
     clean_results,
 )
@@ -93,6 +96,9 @@ __all__ = [
     "UpdateMessage",
     "AckMessage",
     "AdoptMessage",
+    "ReplicateMessage",
+    "RehydrateRequest",
+    "RehydrateAnswer",
     "clean_results",
     "make_concurrent_cluster",
     "run_concurrent_clients",

@@ -10,6 +10,8 @@ This is the object the examples and integration tests drive; the
 discrete-event simulator wraps the same pieces with a cost model.
 """
 
+import copy
+
 from repro.core.errors import QueryRoutingError
 from repro.core.partition import PartitionPlan
 from repro.core.schema import HierarchySchema
@@ -29,7 +31,7 @@ class Cluster:
     def __init__(self, global_document, plan, service="parking",
                  zone="intel-iris.net", oa_config=None, clock=None,
                  count_bytes=False, schema=None, network=None,
-                 durability=None):
+                 durability=None, replication=None):
         if not isinstance(plan, PartitionPlan):
             plan = PartitionPlan(plan)
         from repro.xmlkit.nodes import Document as _Document
@@ -58,6 +60,20 @@ class Cluster:
             else None
         )
 
+        # Replication: a ReplicationConfig turns on k-replica fragment
+        # ownership.  It may arrive either as a cluster kwarg (mirrored
+        # onto a copy of the OA config so a shared config object is
+        # never mutated) or pre-set on the OA config directly; disabled
+        # either way means no replication traffic at all.
+        if replication is not None:
+            self.oa_config = copy.copy(self.oa_config)
+            self.oa_config.replication = replication
+        configured = getattr(self.oa_config, "replication", None)
+        self.replication_config = (
+            configured if configured is not None and configured.enabled
+            else None
+        )
+
         databases = plan.build_databases(global_document,
                                          default_clock=self.clock)
         self.agents = {}
@@ -67,15 +83,19 @@ class Cluster:
         self.client_resolver = DnsResolver(self.dns, clock=self.clock)
         self.sensing_agents = []
         self.stats = {"client_queries": 0, "lca_cache_hits": 0,
-                      "site_kills": 0, "site_restarts": 0}
+                      "site_kills": 0, "site_restarts": 0,
+                      "site_rehydrations": 0, "rehydrated_bytes": 0}
+        self._wire_replication()
 
-    def _build_agent(self, site, database):
+    def _build_agent(self, site, database, prefer_database=False):
         """One OA, durably journalled when durability is configured.
 
         When the site's durability directory already holds state (a
         restart -- of the single site or of the whole deployment), the
         freshly partitioned *database* is discarded and the agent
-        recovers from checkpoint + WAL instead.
+        recovers from checkpoint + WAL instead -- unless
+        *prefer_database* says the given database is fresher than the
+        durable state (peer rehydration; the caller re-checkpoints).
         """
         from repro.durability import DurabilityManager
 
@@ -83,7 +103,7 @@ class Cluster:
         if self.durability_config is not None:
             manager = DurabilityManager(self.durability_config, site,
                                         clock=self.clock)
-            if manager.has_state():
+            if manager.has_state() and not prefer_database:
                 database = None
         resolver = DnsResolver(self.dns, clock=self.clock)
         agent = OrganizingAgent(
@@ -98,6 +118,81 @@ class Cluster:
             # addresses instead (TcpCluster handles that).
             self.network.register(site, agent)
         return agent
+
+    def _wire_replication(self):
+        """Pin the site ring on every agent and seed the replica sets.
+
+        The ring comes from the static partition plan, so every site
+        (and every future asker) agrees on who replicates whom without
+        a membership protocol.  The bootstrap push runs over whatever
+        network the cluster currently has -- for a TcpCluster that is
+        the in-process loopback, before any socket exists.
+        """
+        if self.replication_config is None:
+            return
+        sites = self.plan.sites
+        for agent in self.agents.values():
+            agent.replication.set_topology(sites)
+        for agent in self.agents.values():
+            agent.replication.replicate_owned()
+
+    def _rehydrate_from_peers(self, site):
+        """Rebuild a dead site's fragment from its replicas, or ``None``.
+
+        Asks each of the site's ring-successor peers for their full
+        replica copy and merges the answers.  Succeeds only when the
+        merged copy covers **every** node the partition plan assigns to
+        the site (anything less would restart the owner with silent
+        holes); on success the owned paths are promoted and the
+        database is ready to serve.
+        """
+        from repro.core.database import SensorDatabase
+        from repro.core.status import get_status
+        from repro.net.errors import NetError
+        from repro.net.messages import RehydrateAnswer, RehydrateRequest
+        from repro.replication import replica_peers
+
+        owned = sorted(
+            (path for path, owner in self.owner_map.items()
+             if owner == site),
+            key=len,
+        )
+        if not owned:
+            return None
+        database = None
+        received = 0
+        for peer in replica_peers(site, self.plan.sites,
+                                  self.replication_config.k):
+            if peer not in self.agents:
+                continue
+            message = RehydrateRequest(site, sender=site)
+            try:
+                reply = self.network.request(site, peer, message)
+            except (OSError, NetError):
+                continue
+            if not isinstance(reply, RehydrateAnswer) or \
+                    reply.fragment is None:
+                continue
+            received += reply.encoded_size()
+            if database is None:
+                database = SensorDatabase(reply.fragment.copy(),
+                                          clock=self.clock, site_id=site)
+            else:
+                database.store_fragment(reply.fragment)
+        if database is None:
+            return None
+        for path in owned:
+            element = database.find(path)
+            if element is None or \
+                    not get_status(element).has_local_information:
+                # The replicas do not cover the whole fragment: fall
+                # back to WAL replay rather than restart with holes.
+                return None
+        for path in owned:
+            database.mark_owned(path)
+        self.stats["site_rehydrations"] += 1
+        self.stats["rehydrated_bytes"] += received
+        return database
 
     # ------------------------------------------------------------------
     @property
@@ -299,21 +394,37 @@ class Cluster:
         return agent
 
     def restart_site(self, site):
-        """Bring a killed site back from its WAL + checkpoint.
+        """Bring a killed site back: peer replicas first, then WAL.
 
-        Requires durability -- without it the fragment died with the
-        process and only a full redeploy can recreate it.  Returns the
-        new agent.
+        With replication enabled the restarting owner asks its ring
+        peers for their copies and, when those cover the whole owned
+        fragment, restarts from them -- typically fresher than the last
+        checkpoint and available even without durability.  Otherwise it
+        falls back to WAL + checkpoint recovery (PR 5); with neither,
+        the fragment died with the process and only a full redeploy can
+        recreate it.  Returns the new agent.
         """
-        if self.durability_config is None:
+        if site in self.agents:
+            raise QueryRoutingError(f"site {site!r} is already running")
+        database = None
+        if self.replication_config is not None:
+            database = self._rehydrate_from_peers(site)
+        if database is None and self.durability_config is None:
             raise QueryRoutingError(
                 f"cannot restart {site!r}: cluster has no durability "
                 "(the fragment died with the agent)")
-        if site in self.agents:
-            raise QueryRoutingError(f"site {site!r} is already running")
-        agent = self._build_agent(site, None)
+        agent = self._build_agent(site, database,
+                                  prefer_database=database is not None)
         self.agents[site] = agent
         self.stats["site_restarts"] += 1
+        if database is not None and agent.durability is not None:
+            # The rehydrated copy supersedes whatever checkpoint + WAL
+            # survived the crash; snapshot it so a second crash does
+            # not replay a stale journal over the fresher state.
+            agent.durability.checkpoint()
+        if agent.replication is not None:
+            agent.replication.set_topology(self.plan.sites)
+            agent.replication.replicate_owned()
         return agent
 
     def bind_lifecycle(self, faulty):

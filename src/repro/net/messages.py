@@ -285,7 +285,7 @@ def _encode_completeness(report):
     holder = Element("completeness", attrib={
         "complete": "1" if report.get("complete") else "0",
     })
-    for section in ("unreachable", "stale_served"):
+    for section in ("unreachable", "stale_served", "replica_too_stale"):
         for entry in report.get(section, ()):
             item = Element("miss", attrib={
                 "section": section,
@@ -297,6 +297,19 @@ def _encode_completeness(report):
             for cause in entry.get("causes", ()):
                 item.append(Element("cause", text=cause))
             holder.append(item)
+    # Regions a replica answered for a dead owner: present only when
+    # failover actually served data, so replication-free (and
+    # replication-disabled) reports encode byte-identically to before
+    # the subsystem existed.
+    for entry in report.get("served_by_replica", ()):
+        item = Element("replica", attrib={
+            "site": str(entry.get("replica", "")),
+            "owner": str(entry.get("owner", "")),
+            "age": repr(float(entry.get("age", 0.0))),
+        })
+        item.append(_encode_id_path(entry.get("id_path", ())))
+        item.append(Element("q", text=entry.get("query", "")))
+        holder.append(item)
     return holder
 
 
@@ -305,6 +318,8 @@ def _decode_completeness(holder):
         "complete": holder.get("complete") == "1",
         "unreachable": [],
         "stale_served": [],
+        "served_by_replica": [],
+        "replica_too_stale": [],
     }
     for item in holder.element_children("miss"):
         section = item.get("section")
@@ -319,6 +334,16 @@ def _decode_completeness(holder):
             "attempts": int(item.get("attempts") or 0),
             "causes": [cause.text or ""
                        for cause in item.element_children("cause")],
+        })
+    for item in holder.element_children("replica"):
+        query = item.child("q")
+        report["served_by_replica"].append({
+            "id_path": [list(entry) for entry
+                        in _decode_id_path(item.child("path"))],
+            "query": (query.text or "") if query is not None else "",
+            "replica": item.get("site") or "",
+            "owner": item.get("owner") or "",
+            "age": float(item.get("age") or 0.0),
         })
     return report
 
@@ -627,6 +652,182 @@ class AdoptMessage(Message):
                 f"sender={self.sender!r}{self._repr_size()})")
 
 
+def _encode_stamps(stamps):
+    """``{id_path: (timestamp, version)}`` as a ``<stamps>`` holder."""
+    holder = Element("stamps")
+    for path, (timestamp, version) in sorted(
+            stamps.items(), key=lambda entry: repr(entry[0])):
+        item = Element("stamp", attrib={
+            "ts": repr(float(timestamp)),
+            "v": str(int(version)),
+        })
+        item.append(_encode_id_path(path))
+        holder.append(item)
+    return holder
+
+
+def _decode_stamps(holder):
+    stamps = {}
+    if holder is None:
+        return stamps
+    for item in holder.element_children("stamp"):
+        path = _decode_id_path(item.child("path"))
+        stamps[path] = (float(item.get("ts") or 0.0),
+                        int(item.get("v") or 0))
+    return stamps
+
+
+class ReplicateMessage(Message):
+    """An owner's fire-and-forget replication batch to one replica peer.
+
+    Carries the wire fragment (C1/C2, root-rooted -- the same shape as
+    any generalized answer) for the replicated nodes plus per-path
+    *stamps*: ``(data timestamp, database subtree version)``.  The
+    version lets a replica drop reordered stale batches; the timestamp
+    is what failover later judges against a query's freshness bound.
+    Loss is tolerated by design -- the next update re-replicates.
+    """
+
+    kind = "replicate"
+
+    def __init__(self, owner, fragment, stamps, sender=None,
+                 message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.owner = owner
+        self.fragment = fragment
+        self.stamps = {
+            tuple(tuple(entry) for entry in path):
+                (float(timestamp), int(version))
+            for path, (timestamp, version) in dict(stamps).items()
+        }
+
+    def _fill(self, envelope):
+        envelope.set("owner", str(self.owner))
+        envelope.append(_encode_stamps(self.stamps))
+        holder = Element("fragment")
+        holder.append(self.fragment.copy())
+        envelope.append(holder)
+
+    @classmethod
+    def _parse(cls, envelope):
+        children = list(envelope.child("fragment").element_children())
+        return cls(
+            owner=envelope.get("owner"),
+            fragment=children[0].copy() if children else None,
+            stamps=_decode_stamps(envelope.child("stamps")),
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        return (f"ReplicateMessage(id={self.message_id}, "
+                f"owner={self.owner!r}, stamps={len(self.stamps)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
+class RehydrateRequest(Message):
+    """"Send me your replica of *owner*'s data" (failover + recovery).
+
+    With *id_paths* only those regions are wanted (an asker failing a
+    subquery group over to a replica); without, the whole per-owner
+    copy ships (a restarted owner rebuilding its fragment from peers).
+    """
+
+    kind = "rehydrate"
+
+    def __init__(self, owner, id_paths=(), sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.owner = owner
+        self.id_paths = [tuple(tuple(entry) for entry in path)
+                         for path in id_paths]
+
+    def _fill(self, envelope):
+        envelope.set("owner", str(self.owner))
+        paths = Element("paths")
+        for path in self.id_paths:
+            paths.append(_encode_id_path(path))
+        envelope.append(paths)
+
+    @classmethod
+    def _parse(cls, envelope):
+        paths_holder = envelope.child("paths")
+        paths = [
+            _decode_id_path(p)
+            for p in paths_holder.element_children("path")
+        ] if paths_holder is not None else []
+        return cls(
+            owner=envelope.get("owner"),
+            id_paths=paths,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        scope = len(self.id_paths) or "all"
+        return (f"RehydrateRequest(id={self.message_id}, "
+                f"owner={self.owner!r}, regions={scope}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
+class RehydrateAnswer(Message):
+    """The reply to a :class:`RehydrateRequest`.
+
+    ``fragment`` is ``None`` when the replier holds no replica of the
+    owner (or none of the requested regions); ``stamps`` cover every
+    path in the fragment so the asker can judge freshness itself.
+    Carries ``replyTo`` like every reply kind, so pipelined runtimes
+    correlate it without decoding.
+    """
+
+    kind = "rehydrate-answer"
+
+    def __init__(self, in_reply_to, owner, fragment=None, stamps=None,
+                 sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = int(in_reply_to)
+        self.owner = owner
+        self.fragment = fragment
+        self.stamps = {
+            tuple(tuple(entry) for entry in path):
+                (float(timestamp), int(version))
+            for path, (timestamp, version) in dict(stamps or {}).items()
+        }
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        envelope.set("owner", str(self.owner))
+        if self.stamps:
+            envelope.append(_encode_stamps(self.stamps))
+        if self.fragment is not None:
+            holder = Element("fragment")
+            holder.append(self.fragment.copy())
+            envelope.append(holder)
+
+    @classmethod
+    def _parse(cls, envelope):
+        fragment = None
+        holder = envelope.child("fragment")
+        if holder is not None:
+            children = list(holder.element_children())
+            fragment = children[0].copy() if children else None
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            owner=envelope.get("owner"),
+            fragment=fragment,
+            stamps=_decode_stamps(envelope.child("stamps")),
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        payload = ("empty" if self.fragment is None
+                   else f"fragment=<{self.fragment.tag}>")
+        return (f"RehydrateAnswer(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, owner={self.owner!r}, "
+                f"{payload}, stamps={len(self.stamps)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
 def _peek_envelope_int(text, attr):
     """An integer attribute of the envelope's opening tag, or ``None``.
 
@@ -685,5 +886,6 @@ _KINDS = {
     cls.kind: cls
     for cls in (QueryMessage, AnswerMessage, BatchQueryMessage,
                 BatchAnswerMessage, ErrorMessage, UpdateMessage,
-                AckMessage, AdoptMessage)
+                AckMessage, AdoptMessage, ReplicateMessage,
+                RehydrateRequest, RehydrateAnswer)
 }

@@ -32,6 +32,9 @@ from repro.net.messages import (
     BatchQueryMessage,
     ErrorMessage,
     QueryMessage,
+    RehydrateAnswer,
+    RehydrateRequest,
+    ReplicateMessage,
     UpdateMessage,
     clean_results,
 )
@@ -94,13 +97,21 @@ class OAConfig:
         cache's admission/eviction budget.  ``None`` uses the defaults
         (semantic keying on); pass ``SemanticCacheConfig(enabled=False)``
         for the legacy exact-string behaviour.
+    ``replication``
+        the :class:`~repro.replication.ReplicationConfig` governing
+        k-replica fragment ownership: owners push their local
+        information to k ring-successor peers, subquery dispatch fails
+        over to a replica when the owner is dead (freshness-checked),
+        and restarts rehydrate from peers.  ``None`` (the default) or
+        a disabled config keeps the wire byte-identical to a build
+        without the subsystem.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
                  fast_codegen=True, generalization=GENERALIZE_ANSWER,
                  executor=None, retry_policy=None, breaker=None,
                  partial_answers=True, stale_on_error=False,
-                 semcache=None):
+                 semcache=None, replication=None):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
@@ -111,6 +122,7 @@ class OAConfig:
         self.partial_answers = partial_answers
         self.stale_on_error = stale_on_error
         self.semcache = semcache
+        self.replication = replication
 
 
 class OrganizingAgent:
@@ -160,6 +172,18 @@ class OrganizingAgent:
             semcache=self.config.semcache,
         )
         self.continuous = ContinuousQueryManager(self)
+        replication = self.config.replication
+        #: The replication manager, or ``None`` while the subsystem is
+        #: off -- every hook below is gated on that, so the disabled
+        #: path stays wire-identical to a replication-free build.
+        #: (Imported lazily: ``repro.replication`` imports ``repro.net``
+        #: for the wire messages, so a module-level import here would
+        #: make the package import order matter.)
+        if replication is not None and replication.enabled:
+            from repro.replication import ReplicationManager
+            self.replication = ReplicationManager(self)
+        else:
+            self.replication = None
         self.stats = {
             "user_queries": 0,
             "subqueries_served": 0,
@@ -344,6 +368,20 @@ class OrganizingAgent:
                 # landed mid-retry): finish each ask independently.
                 return [self._redispatch(subquery)
                         for subquery in subqueries]
+        if self.replication is not None:
+            # The owner is terminally unreachable (budget exhausted or
+            # breaker open): try its replica set.  Fresh copies come
+            # back as ReplicaServed and merge like owner answers; the
+            # rest are ordinary failures (with the replicas' refusals
+            # appended to the causes).
+            replies = self.replication.failover(target, subqueries,
+                                                attempts, causes)
+            if replies is not None:
+                failed = [reply for reply in replies
+                          if isinstance(reply, SubqueryFailure)]
+                if failed and not self.config.partial_answers:
+                    raise last_error
+                return replies
         if not self.config.partial_answers:
             raise last_error
         return [SubqueryFailure(subquery, attempts, causes)
@@ -451,6 +489,10 @@ class OrganizingAgent:
             return self._handle_update(message)
         if isinstance(message, AdoptMessage):
             return self._handle_adopt(message)
+        if isinstance(message, ReplicateMessage):
+            return self._handle_replicate(message)
+        if isinstance(message, RehydrateRequest):
+            return self._handle_rehydrate(message)
         raise NetError(
             f"OA {self.site_id!r} cannot handle {type(message).__name__}"
         )
@@ -462,9 +504,11 @@ class OrganizingAgent:
                 message.query, now=message.now
             )
             completeness = None
-            if outcome is not None and outcome.failures:
-                # Partial answer: ship the machine-readable report so
-                # the front-end knows exactly which regions are missing.
+            if outcome is not None and (outcome.failures
+                                        or outcome.replica_served):
+                # Partial or replica-served answer: ship the machine-
+                # readable report so the front-end knows exactly which
+                # regions are missing or came from a replica.
                 completeness = outcome.completeness_report()
             return AnswerMessage(message.message_id,
                                  results=clean_results(results),
@@ -505,6 +549,8 @@ class OrganizingAgent:
                                        values=message.values)
             self.stats["updates_applied"] += 1
             self.continuous.on_update(message.id_path)
+            if self.replication is not None:
+                self.replication.note_update(message.id_path)
             return AckMessage(message.message_id, ok=True,
                               sender=self.site_id)
         # Not owned here (e.g. a stale-DNS straggler after a migration):
@@ -587,7 +633,39 @@ class OrganizingAgent:
             return AckMessage(message.message_id, ok=False, detail=str(exc),
                               sender=self.site_id)
         self.stats["migrations_in"] += 1
+        if self.replication is not None:
+            # The adopted region is now this site's to replicate.
+            self.replication.note_owned(message.id_paths)
         return AckMessage(message.message_id, ok=True, sender=self.site_id)
+
+    # ------------------------------------------------------------------
+    # Replication (replica side)
+    # ------------------------------------------------------------------
+    def _handle_replicate(self, message):
+        """Accept an owner's replication batch into the replica store.
+
+        Always returns a real (correlatable) reply: under pipelined
+        runtimes an empty frame could not be routed to its waiter.
+        The sender fire-and-forgets, so a refusal costs it nothing.
+        """
+        if self.replication is None:
+            return AckMessage(message.message_id, ok=False,
+                              detail="replication disabled",
+                              sender=self.site_id)
+        accepted = self.replication.accept(message)
+        return AckMessage(message.message_id, ok=True,
+                          detail=str(accepted), sender=self.site_id)
+
+    def _handle_rehydrate(self, message):
+        """Serve this site's replica of *owner*'s data (or an empty
+        answer when none is held -- the asker tries the next peer)."""
+        fragment, stamps = (None, {})
+        if self.replication is not None:
+            fragment, stamps = self.replication.export_for(
+                message.owner, message.id_paths)
+        return RehydrateAnswer(message.message_id, message.owner,
+                               fragment=fragment, stamps=stamps,
+                               sender=self.site_id)
 
     # ------------------------------------------------------------------
     # Schema evolution (Section 4)

@@ -88,7 +88,7 @@ class ExplainReport:
 
     def __init__(self, query, site, lca_path, decisions, plan,
                  local_results, routed_site=None, analyze=None,
-                 cache=None):
+                 cache=None, replication=None):
         self.query = query
         self.site = site
         self.lca_path = tuple(tuple(entry) for entry in lca_path)
@@ -101,6 +101,9 @@ class ExplainReport:
         #: mapping, and the aggregate-cache entry that would serve this
         #: query (``None`` when the subsystem is disabled).
         self.cache = cache
+        #: Read-replication view: k, this site's ring peers, and the
+        #: replica sets it holds (``None`` when the subsystem is off).
+        self.replication = replication
 
     @property
     def complete_locally(self):
@@ -129,6 +132,8 @@ class ExplainReport:
         }
         if self.cache is not None:
             out["cache"] = self.cache
+        if self.replication is not None:
+            out["replication"] = self.replication
         if self.analyze is not None:
             out["analyze"] = self.analyze
         return out
@@ -164,6 +169,10 @@ class ExplainReport:
                     lines.append(
                         f"    {'':<12} ~> {entry['wire_query']}"
                         "  [freshness bucket]")
+                if entry.get("replicas"):
+                    peers = ", ".join(entry["replicas"])
+                    lines.append(
+                        f"    {'':<12} failover: {peers}")
         else:
             lines.append("  subquery plan: (none -- answerable locally)")
         if self.cache is not None and self.cache.get("enabled"):
@@ -184,6 +193,11 @@ class ExplainReport:
                     f"    aggregate: cached ({kind} candidate, "
                     f"age {aggregate['age']:g}s, "
                     f"hits {aggregate['hits']})")
+        if self.replication is not None:
+            peers = ", ".join(self.replication.get("peers", [])) or "(none)"
+            lines.append(
+                f"  replication: k={self.replication.get('k')}"
+                f" peers={peers}")
         lines.append(f"  local results: {self.local_results}")
         if self.analyze is not None:
             a = self.analyze
@@ -229,6 +243,13 @@ def _plan_entry(agent, subquery, failed=None):
     wire = _bucketed_wire(agent.driver, subquery)
     if wire is not None:
         entry["wire_query"] = wire
+    manager = getattr(agent, "replication", None)
+    if manager is not None and entry["target"] is not None and \
+            not subquery.scalar:
+        from repro.replication import replica_peers
+
+        entry["replicas"] = replica_peers(
+            entry["target"], manager.topology, manager.config.k)
     if failed is not None:
         entry["failed"] = failed
     return entry
@@ -276,6 +297,20 @@ def _cache_section(driver, source, now):
             "hits": entry.hits,
         }
     return info
+
+
+def _replication_section(agent):
+    """The read-replication view for the report (``None`` when off)."""
+    manager = getattr(agent, "replication", None)
+    if manager is None:
+        return None
+    counters = manager.counters()
+    return {
+        "enabled": True,
+        "k": manager.config.k,
+        "peers": list(manager.peers()),
+        "replicas_held": counters.get("replicas_held", {}),
+    }
 
 
 def _extraction_lca(query):
@@ -346,4 +381,5 @@ def build_explain(agent, query, analyze=False, now=None,
         routed_site=routed_site,
         analyze=analysis,
         cache=_cache_section(driver, source, now),
+        replication=_replication_section(agent),
     )

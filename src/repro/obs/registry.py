@@ -319,6 +319,72 @@ def durability_counters(agents):
     return totals
 
 
+def replication_counters(agents):
+    """Aggregate read-replication counters across organizing agents.
+
+    Sums every replicating OA's :meth:`ReplicationManager.counters`
+    numeric figures (batches/bytes shipped, failovers, lag) and keeps
+    the per-site snapshots under ``sites``.  Agents without replication
+    contribute nothing; with none at all the totals are zero and
+    ``sites`` is empty (the subsystem is off).
+    """
+    if hasattr(agents, "values"):
+        agents = dict(agents)
+    else:
+        agents = {getattr(a, "site_id", i): a
+                  for i, a in enumerate(agents)}
+    totals = {
+        "replicated_batches": 0,
+        "replicated_entries": 0,
+        "replicated_bytes": 0,
+        "replica_batches_accepted": 0,
+        "replica_batches_stale_dropped": 0,
+        "failover_attempts": 0,
+        "failover_served": 0,
+        "replica_too_stale": 0,
+        "failover_no_replica": 0,
+        "rehydrations_served": 0,
+    }
+    sites = {}
+    lag_total = 0.0
+    lag_count = 0
+    lag_max = 0.0
+    for site, agent in sorted(agents.items()):
+        manager = getattr(agent, "replication", None)
+        if manager is None:
+            continue
+        snapshot = manager.counters()
+        sites[site] = snapshot
+        for key in totals:
+            totals[key] += snapshot.get(key, 0)
+        lag_total += snapshot.get("lag_total", 0.0)
+        lag_count += snapshot.get("lag_count", 0)
+        lag_max = max(lag_max, snapshot.get("lag_max", 0.0))
+    totals["replication_lag_mean"] = (
+        round(lag_total / lag_count, 6) if lag_count else 0.0
+    )
+    totals["replication_lag_max"] = lag_max
+    totals["sites"] = sites
+    return totals
+
+
+def health_snapshots(agents):
+    """Per-site circuit-breaker health, keyed ``site -> peer``.
+
+    The direct :meth:`SiteHealthTracker.health_snapshot` surface for
+    ``cluster.metrics()`` -- unlike the ``faults`` aggregation this is
+    always present (empty dicts for sites that tracked no peer yet),
+    so dashboards can rely on the key existing.
+    """
+    if hasattr(agents, "values"):
+        agents = dict(agents)
+    else:
+        agents = {getattr(a, "site_id", i): a
+                  for i, a in enumerate(agents)}
+    return {site: agent.health_snapshot()
+            for site, agent in sorted(agents.items())}
+
+
 def semcache_counters(agents):
     """Aggregate semantic-cache counters across organizing agents.
 
@@ -388,6 +454,9 @@ def build_site_registry(agent):
     registry.register_collector("breakers", agent.health_snapshot)
     if getattr(agent, "durability", None) is not None:
         registry.register_collector("durability", agent.durability.counters)
+    if getattr(agent, "replication", None) is not None:
+        registry.register_collector("replication",
+                                    agent.replication.counters)
     return registry
 
 
@@ -417,6 +486,11 @@ def build_cluster_registry(cluster):
     if getattr(cluster, "durability_config", None) is not None:
         registry.register_collector(
             "durability", lambda: durability_counters(cluster.agents))
+    if getattr(cluster, "replication_config", None) is not None:
+        registry.register_collector(
+            "replication", lambda: replication_counters(cluster.agents))
+    registry.register_collector(
+        "health", lambda: health_snapshots(cluster.agents))
 
     def per_site():
         return {site: site_metrics(agent)

@@ -1,0 +1,28 @@
+"""Read replication: k-replica fragments, failover, peer recovery.
+
+The paper's architecture gives every fragment exactly one owner, so a
+dead owner means partial answers until it returns.  This subsystem
+relaxes that: owners asynchronously replicate their local information
+to their k nearest peers on the site ring, subquery dispatch fails
+over to a replica when the owner is unreachable -- serving the copy
+only when its version stamp satisfies the query's freshness bound --
+and a restarting site rehydrates its fragment from peer replicas
+before falling back to WAL replay.
+
+Disabled (the default), the subsystem adds no wire messages and no
+envelope bytes: traffic is byte-identical to a build without it.
+"""
+
+from repro.replication.manager import (
+    ReplicationConfig,
+    ReplicationManager,
+    freshness_bound,
+    replica_peers,
+)
+
+__all__ = [
+    "ReplicationConfig",
+    "ReplicationManager",
+    "freshness_bound",
+    "replica_peers",
+]

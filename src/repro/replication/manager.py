@@ -1,0 +1,509 @@
+"""The per-site replication manager: replicate out, serve back, fail over.
+
+One :class:`ReplicationManager` hangs off each organizing agent when
+``OAConfig.replication`` is an enabled :class:`ReplicationConfig`.  It
+plays three roles at once:
+
+* **Owner**: after every applied update (and on bootstrap/adoption)
+  the owner exports the changed nodes' local information as a wire
+  fragment and fire-and-forgets a ``ReplicateMessage`` -- stamped with
+  the data timestamps and the database's subtree version -- to its k
+  nearest peers on the sorted site ring.  Loss is tolerated: the next
+  update re-replicates, and stamps let replicas discard reordered
+  stale batches.
+* **Replica**: accepted fragments merge into one mini sensor database
+  per remote owner (never into the site's own fragment -- replica data
+  must not masquerade as this site's cache), with per-path stamps
+  recording data timestamp, version and arrival time (replication lag).
+* **Failover client**: when a dispatch group exhausts its retry budget
+  against a dead owner, :meth:`failover` asks the owner's replicas for
+  the region and serves the copy **only** when its stamp satisfies the
+  subquery's freshness bound -- the bound is read from the wire-form
+  query, so freshness-bucketed asks are judged at their (loosened)
+  bucket boundary exactly as a mid-tier cache would, and the gather
+  driver's escalation re-check still enforces the caller's exact
+  tolerance afterwards.  A too-stale replica degrades to the ordinary
+  partial answer, annotated ``replica_too_stale``.
+
+Everything here is invisible on the wire while disabled: no messages
+are sent, no envelope fields are added, and answers are byte-identical
+to a replication-free build.
+"""
+
+import threading
+
+from repro.core.answer import AnswerBuilder
+from repro.core.database import SensorDatabase
+from repro.core.gather import ReplicaServed, SubqueryFailure
+from repro.core.consistency import (
+    extract_tolerance,
+    rewrite_consistency_sugar,
+)
+from repro.core.status import get_status, get_timestamp
+from repro.net.errors import NetError
+from repro.net.messages import (
+    ErrorMessage,
+    RehydrateAnswer,
+    RehydrateRequest,
+    ReplicateMessage,
+)
+from repro.xpath import parser as xpath_parser
+from repro.xpath.analysis import REF_CONSISTENCY, classify_predicate
+from repro.xpath.ast import (
+    BinaryOperation,
+    FunctionCall,
+    LocationPath,
+    walk,
+)
+
+
+class ReplicationConfig:
+    """Tunables for read replication.
+
+    ``k``
+        how many ring-successor peers hold a copy of each owner's
+        fragment (the SwarmAdaptiveMemory-style top-k nearest peers);
+    ``enabled``
+        master switch; ``False`` (or ``k <= 0``) leaves the wire
+        byte-identical to a build without the subsystem.
+    """
+
+    def __init__(self, k=2, enabled=True):
+        self.k = int(k)
+        self.enabled = bool(enabled) and self.k > 0
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"ReplicationConfig(k={self.k}, {state})"
+
+
+def replica_peers(owner, sites, k):
+    """The k ring successors of *owner* among *sites* (deterministic).
+
+    Sites sort lexically into a ring; an owner's replicas are the next
+    k distinct sites clockwise.  Every site computes the same answer
+    from the static partition plan, so askers know where to fail over
+    without any membership protocol.
+    """
+    ring = sorted(set(sites))
+    if k <= 0 or owner not in ring or len(ring) < 2:
+        return []
+    start = ring.index(owner)
+    peers = []
+    for step in range(1, len(ring)):
+        peer = ring[(start + step) % len(ring)]
+        if peer != owner:
+            peers.append(peer)
+        if len(peers) >= k:
+            break
+    return peers
+
+
+def _conjuncts(predicate):
+    if isinstance(predicate, BinaryOperation) and predicate.operator == "and":
+        yield from _conjuncts(predicate.left)
+        yield from _conjuncts(predicate.right)
+    else:
+        yield predicate
+
+
+def freshness_bound(query):
+    """The tightest freshness tolerance *query* demands, in seconds.
+
+    Scans every step predicate for canonical consistency conjuncts
+    (``timestamp() > current-time() - N``, sugar included) and returns
+    the minimum ``N`` -- the bound replica data must satisfy to be
+    served in this query's answer.  ``None`` means the query tolerates
+    arbitrarily old data.
+    """
+    try:
+        ast = xpath_parser.parse(query) if isinstance(query, str) else query
+    except Exception:
+        return None
+    if isinstance(ast, FunctionCall) and ast.arguments and \
+            isinstance(ast.arguments[0], LocationPath):
+        ast = ast.arguments[0]
+    ast = rewrite_consistency_sugar(ast)
+    bound = None
+    for node in walk(ast):
+        if not isinstance(node, LocationPath):
+            continue
+        for step in node.steps:
+            for predicate in step.predicates:
+                for conjunct in _conjuncts(predicate):
+                    if classify_predicate(conjunct) != \
+                            frozenset({REF_CONSISTENCY}):
+                        continue
+                    seconds = extract_tolerance(conjunct)
+                    if seconds is None:
+                        continue
+                    bound = seconds if bound is None \
+                        else min(bound, seconds)
+    return bound
+
+
+def _as_path(id_path):
+    return tuple(tuple(entry) for entry in id_path)
+
+
+def _is_prefix(shorter, longer):
+    return len(shorter) <= len(longer) and \
+        tuple(longer[:len(shorter)]) == tuple(shorter)
+
+
+def region_age(stamps, anchor_path, now):
+    """How old the replicated region under *anchor_path* is, or ``None``.
+
+    The region is only as fresh as its **oldest** stamped node at or
+    below the anchor -- a conservative reading that never vouches for
+    a subtree fresher than its stalest member.  ``None`` means the
+    replica holds no data for the region at all.
+    """
+    anchor = _as_path(anchor_path)
+    related = [
+        stamp[0] for path, stamp in stamps.items()
+        if _is_prefix(anchor, path)
+    ]
+    if not related:
+        return None
+    return max(0.0, float(now) - min(related))
+
+
+class _ReplicaStore:
+    """This site's copy of one remote owner's fragment, plus stamps.
+
+    A mini :class:`SensorDatabase` (root-rooted, like any wire
+    fragment) kept strictly apart from the site's own database, and a
+    per-path stamp table ``{id_path: (timestamp, version, received)}``.
+    Reordered replication batches are resolved by version: an arriving
+    stamp older than the stored one is dropped.
+    """
+
+    def __init__(self, owner, clock):
+        self.owner = owner
+        self.clock = clock
+        self.database = None
+        self.stamps = {}
+
+    def merge(self, fragment, stamps, now):
+        accepted = 0
+        fresh = {}
+        for path, (timestamp, version) in stamps.items():
+            existing = self.stamps.get(path)
+            if existing is not None and existing[1] > version:
+                continue
+            fresh[path] = (float(timestamp), int(version), float(now))
+            accepted += 1
+        if not fresh:
+            return 0
+        if fragment is not None:
+            if self.database is None:
+                self.database = SensorDatabase(
+                    fragment.copy(), clock=self.clock,
+                    site_id=f"replica:{self.owner}")
+            else:
+                self.database.store_fragment(fragment)
+        self.stamps.update(fresh)
+        return accepted
+
+    def wire_stamps(self):
+        return {path: (stamp[0], stamp[1])
+                for path, stamp in self.stamps.items()}
+
+    def export(self, anchor_paths=()):
+        """The stored copy as a wire fragment plus its covering stamps.
+
+        With *anchor_paths* only those regions (subtrees) are exported;
+        without, the whole per-owner copy ships -- the rehydration
+        payload a restarting owner asks for.
+        """
+        if self.database is None:
+            return None, {}
+        builder = AnswerBuilder(self.database)
+        if anchor_paths:
+            stamps = {}
+            for anchor in anchor_paths:
+                anchor = _as_path(anchor)
+                element = self.database.find(anchor)
+                if element is None or \
+                        not get_status(element).has_local_information:
+                    continue
+                builder.include_subtree(element)
+                for path, stamp in self.stamps.items():
+                    if _is_prefix(anchor, path):
+                        stamps[path] = (stamp[0], stamp[1])
+        else:
+            for element in self.database.iter_idable():
+                if get_status(element).has_local_information:
+                    builder.include_local_information(element)
+            stamps = self.wire_stamps()
+        return builder.build(), stamps
+
+    def ages(self, now):
+        if not self.stamps:
+            return None
+        deltas = [max(0.0, float(now) - stamp[0])
+                  for stamp in self.stamps.values()]
+        return {
+            "entries": len(deltas),
+            "min_age": round(min(deltas), 3),
+            "max_age": round(max(deltas), 3),
+        }
+
+
+class ReplicationManager:
+    """One site's replication state machine (see module docstring)."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.config = agent.config.replication
+        self.topology = ()
+        self._stores = {}
+        self._lock = threading.Lock()
+        self.stats = {
+            "replicated_batches": 0,
+            "replicated_entries": 0,
+            "replicated_bytes": 0,
+            "replica_batches_accepted": 0,
+            "replica_entries_accepted": 0,
+            "replica_batches_stale_dropped": 0,
+            "failover_attempts": 0,
+            "failover_served": 0,
+            "replica_too_stale": 0,
+            "failover_no_replica": 0,
+            "rehydrations_served": 0,
+            "lag_count": 0,
+            "lag_total": 0.0,
+            "lag_max": 0.0,
+        }
+
+    @property
+    def enabled(self):
+        return self.config is not None and self.config.enabled
+
+    # -- topology -------------------------------------------------------
+    def set_topology(self, sites):
+        """Pin the static site ring (from the partition plan)."""
+        self.topology = tuple(sorted(set(sites)))
+
+    def peers(self):
+        """This site's own replica set."""
+        return replica_peers(self.agent.site_id, self.topology,
+                             self.config.k)
+
+    # -- owner side: replicate out --------------------------------------
+    def note_update(self, id_path):
+        """An update landed on an owned node: re-replicate it."""
+        self._replicate([_as_path(id_path)])
+
+    def note_owned(self, id_paths):
+        """Nodes were adopted (migration): replicate the new region."""
+        self._replicate([_as_path(path) for path in id_paths])
+
+    def replicate_owned(self):
+        """Bootstrap: push every owned node to this site's replica set."""
+        self._replicate([_as_path(path)
+                         for path in self.agent.database.owned_paths()])
+
+    def _replicate(self, paths):
+        if not self.enabled:
+            return
+        peers = self.peers()
+        if not peers or not paths:
+            return
+        database = self.agent.database
+        builder = AnswerBuilder(database)
+        version = database.root.subtree_version
+        now = float(self.agent.clock())
+        stamps = {}
+        for path in paths:
+            element = database.find(path)
+            if element is None or \
+                    not get_status(element).has_local_information:
+                continue
+            builder.include_local_information(element)
+            timestamp = get_timestamp(element)
+            stamps[path] = (timestamp if timestamp is not None else now,
+                            version)
+        fragment = builder.build()
+        if fragment is None or not stamps:
+            return
+        message = ReplicateMessage(self.agent.site_id, fragment, stamps,
+                                   sender=self.agent.site_id)
+        size = message.encoded_size()
+        for peer in peers:
+            # Fire-and-forget: a lost batch is repaired by the next
+            # update's batch (stamps make reordering safe).  Read the
+            # network off the agent at send time -- runtimes rewire it
+            # after construction.
+            self.agent.network.tell(self.agent.site_id, peer, message)
+        with self._lock:
+            self.stats["replicated_batches"] += len(peers)
+            self.stats["replicated_entries"] += len(stamps) * len(peers)
+            self.stats["replicated_bytes"] += size * len(peers)
+
+    # -- replica side: accept and serve ---------------------------------
+    def accept(self, message):
+        """Merge one inbound :class:`ReplicateMessage`; returns entries
+        accepted (stale-version entries are dropped, not merged)."""
+        now = float(self.agent.clock())
+        with self._lock:
+            store = self._stores.get(message.owner)
+            if store is None:
+                store = _ReplicaStore(message.owner, self.agent.clock)
+                self._stores[message.owner] = store
+            accepted = store.merge(message.fragment, message.stamps, now)
+            if accepted:
+                self.stats["replica_batches_accepted"] += 1
+                self.stats["replica_entries_accepted"] += accepted
+                for timestamp, _version in message.stamps.values():
+                    lag = max(0.0, now - float(timestamp))
+                    self.stats["lag_count"] += 1
+                    self.stats["lag_total"] += lag
+                    if lag > self.stats["lag_max"]:
+                        self.stats["lag_max"] = lag
+            else:
+                self.stats["replica_batches_stale_dropped"] += 1
+        return accepted
+
+    def export_for(self, owner, id_paths=()):
+        """Serve a rehydrate/failover ask for *owner*'s replicated data."""
+        with self._lock:
+            store = self._stores.get(owner)
+            if store is None:
+                return None, {}
+            fragment, stamps = store.export(id_paths)
+            if fragment is not None:
+                self.stats["rehydrations_served"] += 1
+        return fragment, stamps
+
+    def holds_replica_of(self, owner):
+        with self._lock:
+            store = self._stores.get(owner)
+            return store is not None and store.database is not None
+
+    # -- asker side: failover -------------------------------------------
+    def failover(self, target, subqueries, attempts, causes):
+        """Serve a dead owner's subqueries from its replicas, if fresh.
+
+        Returns one reply per subquery -- a
+        :class:`~repro.core.gather.ReplicaServed` carrying the replica
+        fragment when a copy satisfies the (wire) query's freshness
+        bound, otherwise a :class:`SubqueryFailure` whose causes append
+        what each replica said (``replica_too_stale`` set when a copy
+        existed but was too old).  Returns ``None`` when replication is
+        off or the owner has no replicas: the caller falls back to the
+        legacy partial-answer path untouched.
+        """
+        if not self.enabled or not self.topology:
+            return None
+        peers = replica_peers(target, self.topology, self.config.k)
+        if not peers:
+            return None
+        with self._lock:
+            self.stats["failover_attempts"] += 1
+        now = float(self.agent.clock())
+        anchors = [subquery.anchor_path for subquery in subqueries
+                   if not subquery.scalar]
+        views = self._candidate_views(target, anchors, peers)
+        replies = []
+        for subquery in subqueries:
+            if subquery.scalar:
+                # Probes need evaluation at a live site; replicas only
+                # hold data.  Degrade as before.
+                replies.append(SubqueryFailure(
+                    subquery, attempts,
+                    list(causes) + ["replicas do not serve scalar probes"],
+                ))
+                continue
+            bound = freshness_bound(subquery.query)
+            served = None
+            extra_causes = []
+            saw_stale = False
+            for peer, fragment, stamps in views:
+                age = region_age(stamps, subquery.anchor_path, now)
+                if age is None or fragment is None:
+                    continue
+                if bound is not None and age > bound:
+                    saw_stale = True
+                    extra_causes.append(
+                        f"replica {peer!r}: copy too stale "
+                        f"(age {age:g}s > bound {bound:g}s)")
+                    continue
+                served = ReplicaServed(subquery, fragment, replica=peer,
+                                       owner=target, age=age)
+                break
+            if served is not None:
+                replies.append(served)
+                with self._lock:
+                    self.stats["failover_served"] += 1
+                continue
+            if not saw_stale:
+                extra_causes.append(
+                    f"no replica of site {target!r} holds the region")
+            failure = SubqueryFailure(subquery, attempts,
+                                      list(causes) + extra_causes)
+            failure.replica_too_stale = saw_stale
+            replies.append(failure)
+            with self._lock:
+                if saw_stale:
+                    self.stats["replica_too_stale"] += 1
+                else:
+                    self.stats["failover_no_replica"] += 1
+        return replies
+
+    def _candidate_views(self, target, anchors, peers):
+        """Fetch each replica's view of *target*'s regions, ring order.
+
+        This site may itself be in the replica set (serve locally, no
+        wire traffic); remote peers are asked with one
+        :class:`RehydrateRequest` covering every anchor, gated by the
+        same circuit breakers as ordinary dispatch.
+        """
+        views = []
+        health = self.agent.health
+        for peer in peers:
+            if peer == self.agent.site_id:
+                fragment, stamps = self.export_for(target, anchors)
+                if fragment is not None:
+                    views.append((peer, fragment, stamps))
+                continue
+            if health is not None and not health.allow(peer):
+                continue
+            message = RehydrateRequest(target, anchors,
+                                       sender=self.agent.site_id)
+            try:
+                reply = self.agent.network.request(
+                    self.agent.site_id, peer, message)
+            except (OSError, NetError):
+                if health is not None:
+                    health.record_failure(peer)
+                continue
+            if isinstance(reply, ErrorMessage) or \
+                    not isinstance(reply, RehydrateAnswer):
+                continue
+            if health is not None:
+                health.record_success(peer)
+            if reply.fragment is not None:
+                views.append((peer, reply.fragment, reply.stamps))
+        return views
+
+    # -- introspection ---------------------------------------------------
+    def counters(self):
+        """Replication counters for the metrics registry / EXPLAIN."""
+        now = float(self.agent.clock())
+        with self._lock:
+            counters = dict(self.stats)
+            counters["replication_lag_mean"] = round(
+                counters["lag_total"] / counters["lag_count"], 6
+            ) if counters["lag_count"] else 0.0
+            stores = {}
+            for owner, store in sorted(self._stores.items()):
+                ages = store.ages(now)
+                if ages is not None:
+                    stores[owner] = ages
+        counters["enabled"] = self.enabled
+        counters["k"] = self.config.k if self.config is not None else 0
+        counters["peers"] = list(self.peers()) if self.enabled else []
+        counters["replicas_held"] = stores
+        return counters
