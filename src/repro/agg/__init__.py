@@ -1,0 +1,48 @@
+"""Hierarchical aggregation and derived sensors.
+
+Aggregate queries (``count``/``sum``/``avg``/``min``/``max`` over an
+anchored path) are answered from **summaries**: mergeable partial
+aggregates cached per IDable subtree at every organizing agent, merged
+deterministically up the hierarchy via partial-aggregate wire messages
+that carry merge-state tuples instead of subtrees -- a county-level
+``avg`` over a million sensors never fans out to the leaves.  Derived
+sensors define virtual readings as formulas over those aggregates,
+re-evaluated through continuous-query subscriptions on their input
+regions.
+
+Disabled (the default), the subsystem adds no wire messages and no
+envelope bytes: traffic is byte-identical to a build without it.
+"""
+
+from repro.agg.derived import DerivedSensor, FormulaError, compile_formula
+from repro.agg.manager import (
+    AggregationConfig,
+    AggregationManager,
+    AggregationUnavailable,
+    AggregationUnsupported,
+)
+from repro.agg.partial import (
+    SHAPES,
+    Partial,
+    collapse,
+    merge_states,
+    state_of,
+)
+from repro.agg.summary import SummaryCache, summary_key
+
+__all__ = [
+    "AggregationConfig",
+    "AggregationManager",
+    "AggregationUnavailable",
+    "AggregationUnsupported",
+    "DerivedSensor",
+    "FormulaError",
+    "Partial",
+    "SHAPES",
+    "SummaryCache",
+    "collapse",
+    "compile_formula",
+    "merge_states",
+    "state_of",
+    "summary_key",
+]

@@ -1,0 +1,610 @@
+"""The per-site aggregation manager: summaries, rollups, derived input.
+
+One :class:`AggregationManager` hangs off each organizing agent when
+``OAConfig.aggregation`` is an enabled :class:`AggregationConfig`.
+Aggregate queries still arrive through the ordinary scalar entry point
+(:meth:`OrganizingAgent.answer_scalar` consults the manager first);
+the manager answers the shapes it supports hierarchically:
+
+* **summary first**: the rollup's merge-state may already be cached in
+  the :class:`~repro.agg.summary.SummaryCache`, keyed by (region,
+  freshness-stripped inner path) and served under the caller's
+  original bound -- semcache bucketing reuse, so jitter-equivalent
+  tolerances share one entry;
+* **local rollup**: matches whose whole IDable chain from the region
+  down is owned here fold into one exact
+  :class:`~repro.agg.partial.Partial`;
+* **partial-aggregate subqueries**: every IDable *frontier* (an
+  unowned IDable node the inner path can reach) is asked for its
+  collapsed merge-state with one
+  :class:`~repro.net.messages.PartialAggregateRequest` -- tuples on
+  the wire, never subtrees -- and child sites recurse, so interior
+  OAs cache intermediate rollups and the hierarchy amortizes.
+
+Any failure (dead child, disabled peer, a query shape outside the
+algebra) degrades to the naive gather fan-out for ``count``/``sum``
+(the evaluator's own shapes); ``avg``/``min``/``max`` exist only here
+and surface the error instead.
+
+Disabled (the default), the subsystem adds no wire messages and no
+envelope bytes: traffic is byte-identical to a build without it.
+"""
+
+import threading
+
+from repro.core.errors import CoreError, UnsupportedDistributedQueryError
+from repro.core.idable import idable_children, node_id
+from repro.core.semcache import (
+    DEFAULT_BUCKET_BOUNDARIES,
+    FreshnessBuckets,
+    canonicalize,
+)
+from repro.core.status import Status, get_status, get_timestamp
+from repro.net.errors import NetError
+from repro.net.messages import (
+    ErrorMessage,
+    PartialAggregateAnswer,
+    PartialAggregateRequest,
+)
+from repro.xpath import parser as xpath_parser
+from repro.xpath.analysis import (
+    REF_CONSISTENCY,
+    REF_ID,
+    classify_predicate,
+    extract_id_path,
+    single_id_value,
+)
+from repro.xpath.ast import (
+    BinaryOperation,
+    FunctionCall,
+    LocationPath,
+    NameTest,
+)
+from repro.xpath.evaluator import Evaluator
+from repro.xpath.types import AttributeRef, node_string_value, to_number
+
+from repro.agg.partial import (
+    SHAPES,
+    Partial,
+    collapse,
+    merge_states,
+    state_of,
+)
+from repro.agg.summary import SummaryCache, summary_key
+
+_EVALUATOR = Evaluator()
+
+
+class AggregationUnsupported(UnsupportedDistributedQueryError):
+    """The query is aggregate-shaped but outside the rollup algebra."""
+
+
+class AggregationUnavailable(CoreError):
+    """A rollup could not complete (dead child, disabled peer, ...)."""
+
+
+class AggregationConfig:
+    """Tunables for hierarchical aggregation at one site.
+
+    ``enabled``
+        master switch; ``False`` keeps the wire byte-identical to a
+        build without the subsystem;
+    ``buckets``
+        the :class:`~repro.core.semcache.FreshnessBuckets` used to
+        loosen in-query tolerances before computing (and keying)
+        rollups -- shared boundaries with the semantic cache so both
+        subsystems coalesce the same jitter;
+    ``max_entries`` / ``max_bytes``
+        the :class:`~repro.agg.summary.SummaryCache` LRU budget.
+    """
+
+    def __init__(self, enabled=True, buckets=DEFAULT_BUCKET_BOUNDARIES,
+                 max_entries=256, max_bytes=4 * 1024 * 1024):
+        self.enabled = bool(enabled)
+        if buckets is None:
+            self.buckets = None
+        elif isinstance(buckets, FreshnessBuckets):
+            self.buckets = buckets
+        else:
+            self.buckets = FreshnessBuckets(buckets)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"AggregationConfig({state}, max_entries={self.max_entries})"
+
+
+class _Plan:
+    """One supported aggregate ask, decomposed."""
+
+    __slots__ = ("shape", "inner", "inner_source", "anchor",
+                 "tolerance", "bucket_bound")
+
+    def __init__(self, shape, inner, inner_source, anchor, tolerance,
+                 bucket_bound):
+        self.shape = shape
+        self.inner = inner
+        self.inner_source = inner_source
+        self.anchor = anchor
+        self.tolerance = tolerance
+        self.bucket_bound = bucket_bound
+
+
+def _conjuncts(predicate):
+    if isinstance(predicate, BinaryOperation) and predicate.operator == "and":
+        yield from _conjuncts(predicate.left)
+        yield from _conjuncts(predicate.right)
+    else:
+        yield predicate
+
+
+def _as_path(id_path):
+    return tuple(tuple(entry) for entry in id_path)
+
+
+class AggregationManager:
+    """One site's hierarchical-aggregation state (see module docstring)."""
+
+    def __init__(self, agent):
+        self.agent = agent
+        self.config = agent.config.aggregation
+        self.summaries = SummaryCache(
+            max_entries=self.config.max_entries,
+            max_bytes=self.config.max_bytes,
+        )
+        self.derived = {}
+        self._lock = threading.Lock()
+        self.stats = {
+            "answers": 0,
+            "rollups": 0,
+            "rollup_matches": 0,
+            "partials_fetched": 0,
+            "partials_served": 0,
+            "partial_failures": 0,
+            "fallbacks": 0,
+            "unsupported_queries": 0,
+            "derived_refreshes": 0,
+            "derived_refresh_errors": 0,
+        }
+
+    @property
+    def enabled(self):
+        return self.config is not None and self.config.enabled
+
+    # ------------------------------------------------------------------
+    # The query-side entry point
+    # ------------------------------------------------------------------
+    def try_answer(self, query, now=None, max_age=None, precision=None):
+        """Answer an aggregate query from summaries, or decline.
+
+        Returns ``(handled, value)``.  ``handled`` is ``False`` when
+        the query is not aggregate-shaped, or when a ``count``/``sum``
+        rollup cannot complete -- the caller then takes the ordinary
+        gather path untouched.  ``avg``/``min``/``max`` have no naive
+        fallback: an unsupported or failed rollup raises.
+        """
+        if not self.enabled:
+            return False, None
+        plan = self._plan(query)
+        if plan is None:
+            return False, None
+        if precision is not None and max_age is None:
+            max_age = self.agent.driver.aggregates.max_age_for_precision(
+                precision)
+        now = float(now) if now is not None \
+            else float(self.agent.clock())
+        try:
+            state = self._state_for(plan, now, max_age)
+        except AggregationUnsupported:
+            # Discovered dynamically (e.g. a matched element with
+            # delegated descendants): same dichotomy as the static
+            # check -- naive path where one exists.
+            with self._lock:
+                self.stats["unsupported_queries"] += 1
+            if plan.shape in ("count", "sum"):
+                return False, None
+            raise
+        except AggregationUnavailable as exc:
+            with self._lock:
+                self.stats["fallbacks"] += 1
+            if plan.shape in ("count", "sum"):
+                return False, None
+            raise NetError(
+                f"aggregate rollup unavailable for {plan.shape}(): {exc}"
+            ) from exc
+        partial, _data_ts = collapse(state, now)
+        with self._lock:
+            self.stats["answers"] += 1
+        return True, partial.finalize(plan.shape)
+
+    def _plan(self, query):
+        try:
+            canon = canonicalize(query, buckets=self.config.buckets)
+        except Exception:
+            return None
+        ast = canon.bucket_ast
+        if not isinstance(ast, FunctionCall) or ast.name not in SHAPES:
+            return None
+        supported = (
+            len(ast.arguments) == 1
+            and isinstance(ast.arguments[0], LocationPath)
+            and ast.arguments[0].absolute
+        )
+        problem = None if supported else "argument is not an absolute path"
+        inner = ast.arguments[0] if supported else None
+        anchor = _as_path(extract_id_path(inner)) if supported else ()
+        if problem is None:
+            problem = self._support_problem(inner, anchor)
+        if problem is not None:
+            with self._lock:
+                self.stats["unsupported_queries"] += 1
+            if ast.name in ("count", "sum"):
+                return None  # the evaluator's own shapes: naive path
+            raise AggregationUnsupported(
+                f"{ast.name}() not answerable hierarchically: {problem}")
+        tolerance = canon.min_tolerance
+        if tolerance is None:
+            bucket_bound = None
+        elif self.config.buckets is not None:
+            bucket_bound = self.config.buckets.ceiling(tolerance)
+        else:
+            bucket_bound = tolerance
+        return _Plan(ast.name, inner, inner.unparse(), anchor,
+                     tolerance, bucket_bound)
+
+    def _support_problem(self, inner, anchor):
+        """Why *inner* is outside the rollup algebra, or ``None``.
+
+        The algebra needs every step to be statically routable through
+        IDable frontiers: child axes with name tests, id pins anywhere,
+        and freshness predicates **only on the final step** -- an
+        intermediate consistency predicate would have to be evaluated
+        on a delegated subtree's stub, where timestamps are not
+        maintained.  A final attribute step is allowed (values live on
+        the owning element's site).
+        """
+        if not anchor:
+            return "no IDable anchor (pin at least the root id)"
+        steps = inner.steps
+        last = len(steps) - 1
+        for index, step in enumerate(steps):
+            if step.axis == "attribute":
+                if index != last:
+                    return "attribute step before the end of the path"
+            elif step.axis != "child":
+                return f"unsupported axis {step.axis!r}"
+            if not isinstance(step.node_test, NameTest):
+                return "unsupported node test"
+            for predicate in step.predicates:
+                for conjunct in _conjuncts(predicate):
+                    refs = classify_predicate(conjunct)
+                    if refs <= frozenset({REF_ID}):
+                        continue
+                    if index == last and \
+                            refs == frozenset({REF_CONSISTENCY}):
+                        continue
+                    return "unsupported predicate"
+        return None
+
+    # ------------------------------------------------------------------
+    # Merge-state acquisition (summary -> rollup -> wire)
+    # ------------------------------------------------------------------
+    def _state_for(self, plan, now, max_age):
+        key = summary_key(plan.anchor, plan.inner)
+        serve_bound = max_age if max_age is not None else plan.tolerance
+        entry = self.summaries.lookup(key, now, max_age=serve_bound,
+                                      tolerance=plan.tolerance)
+        if entry is not None:
+            return entry.value
+        state = self._compute_state(plan.anchor, plan.inner,
+                                    plan.inner_source, plan.bucket_bound,
+                                    now)
+        self.summaries.store(key, state, now, tolerance=plan.bucket_bound)
+        return state
+
+    def _compute_state(self, region, inner, inner_source, bound, now):
+        database = self.agent.database
+        element = database.find(region)
+        if element is not None and get_status(element) is Status.OWNED:
+            return self._local_rollup(region, element, inner,
+                                      inner_source, bound, now)
+        return self._remote_partial(region, inner_source, bound, now)
+
+    def _local_rollup(self, region, region_el, inner, inner_source,
+                      bound, now):
+        """Roll up *region* here: owned matches + frontier partials."""
+        database = self.agent.database
+        matches = _EVALUATOR.evaluate(inner, database.root, now=now)
+        partial = Partial()
+        data_ts = None
+        counted = 0
+        for node in matches:
+            element = node.owner if isinstance(node, AttributeRef) else node
+            anchor_el = self._idable_anchor(element)
+            if anchor_el is None or \
+                    not self._owned_chain(region_el, anchor_el):
+                continue
+            if not self._value_complete(element):
+                raise AggregationUnsupported(
+                    "a matched element has delegated IDable descendants; "
+                    "its string-value is not local")
+            partial.add(to_number(node_string_value(node)))
+            counted += 1
+            stamp = get_timestamp(anchor_el)
+            if stamp is not None:
+                data_ts = stamp if data_ts is None else min(data_ts, stamp)
+        state = state_of(region, partial,
+                         data_ts if data_ts is not None else now)
+        with self._lock:
+            self.stats["rollups"] += 1
+            self.stats["rollup_matches"] += counted
+        for frontier in self._frontiers(region, region_el, inner):
+            child_state = self._remote_partial(frontier, inner_source,
+                                               bound, now)
+            state = merge_states(state, child_state)
+        return state
+
+    def _idable_anchor(self, element):
+        """The nearest IDable ancestor-or-self (id-bearing element)."""
+        node = element
+        while node is not None and "id" not in node.attrib:
+            node = node.parent
+        return node
+
+    def _owned_chain(self, region_el, anchor_el):
+        """Whether every IDable node from *anchor_el* up to *region_el*
+        is owned here -- the guard that keeps a locally cached copy of
+        a delegated subtree out of the local partial (its owner will be
+        asked as a frontier; counting both would double-count)."""
+        node = anchor_el
+        while node is not None:
+            if "id" in node.attrib and \
+                    get_status(node) is not Status.OWNED:
+                return False
+            if node is region_el:
+                return True
+            node = node.parent
+        return False
+
+    def _value_complete(self, element):
+        """Whether *element*'s string-value is entirely local: no
+        IDable descendant (at any depth) is delegated elsewhere."""
+        stack = list(idable_children(element))
+        while stack:
+            node = stack.pop()
+            if get_status(node) is not Status.OWNED:
+                return False
+            stack.extend(idable_children(node))
+        return True
+
+    def _frontiers(self, region, region_el, inner):
+        """The unowned IDable nodes under *region* the inner path can
+        reach -- each becomes one partial-aggregate subquery."""
+        steps = inner.steps
+        elem_depth = len(steps)
+        if steps and steps[-1].axis == "attribute":
+            elem_depth -= 1
+        frontiers = []
+
+        def visit(element, path):
+            for child in idable_children(element):
+                child_path = path + (node_id(child),)
+                depth = len(child_path)
+                if depth > elem_depth:
+                    continue
+                if get_status(child) is Status.OWNED:
+                    if depth < elem_depth:
+                        visit(child, child_path)
+                    continue
+                if self._reaches(steps, child_path, len(region)):
+                    frontiers.append(child_path)
+
+        visit(region_el, _as_path(region))
+        return frontiers
+
+    def _reaches(self, steps, child_path, anchor_len):
+        for depth in range(anchor_len, len(child_path)):
+            step = steps[depth]
+            tag, identifier = child_path[depth]
+            name = step.node_test.name
+            if name != "*" and name != tag:
+                return False
+            pinned = single_id_value(step)
+            if pinned is not None and pinned != identifier:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # The wire: ask a frontier's owner, serve a parent's ask
+    # ------------------------------------------------------------------
+    def _resolve_owner(self, region):
+        from repro.net.errors import NameNotFound
+
+        name = self.agent.resolver.server.name_for(region)
+        try:
+            target, _hops = self.agent.resolver.resolve(name)
+        except NameNotFound:
+            return None
+        return target
+
+    def _remote_partial(self, region, inner_source, bound, now):
+        """One frontier's collapsed merge-state, fetched from its owner.
+
+        Breaker-gated like ordinary dispatch.  A DNS-retired region
+        contributes an empty state (the node no longer exists -- the
+        transient inconsistency Section 4 accepts); every other failure
+        raises :class:`AggregationUnavailable` and the whole ask
+        degrades to the naive path.
+        """
+        target = self._resolve_owner(region)
+        if target is None:
+            return {}
+        if target == self.agent.site_id:
+            raise AggregationUnavailable(
+                f"DNS says {self.agent.site_id!r} owns {region} but the "
+                "region is not stored as owned here")
+        health = self.agent.health
+        if health is not None and not health.allow(target):
+            raise AggregationUnavailable(
+                f"circuit open for site {target!r}")
+        message = PartialAggregateRequest(
+            region, inner_source, bound=bound, now=now,
+            sender=self.agent.site_id)
+        try:
+            reply = self.agent.network.request(
+                self.agent.site_id, target, message)
+        except (OSError, NetError) as exc:
+            if health is not None:
+                health.record_failure(target)
+            with self._lock:
+                self.stats["partial_failures"] += 1
+            raise AggregationUnavailable(
+                f"site {target!r} unreachable: {exc}") from exc
+        if health is not None:
+            health.record_success(target)
+        if isinstance(reply, ErrorMessage):
+            with self._lock:
+                self.stats["partial_failures"] += 1
+            raise AggregationUnavailable(
+                f"site {target!r} declined: {reply.code}")
+        if not isinstance(reply, PartialAggregateAnswer):
+            with self._lock:
+                self.stats["partial_failures"] += 1
+            raise AggregationUnavailable(
+                f"site {target!r} replied {type(reply).__name__}")
+        with self._lock:
+            self.stats["partials_fetched"] += 1
+        return reply.state
+
+    def answer_partial(self, message):
+        """Serve one :class:`PartialAggregateRequest` (the OA handler).
+
+        Summary first (the parent's bucketed bound is both the serving
+        bound and the stored tolerance), rollup on miss -- recursing
+        into this site's own frontiers -- and the reply carries the
+        state collapsed to one entry keyed by the asked region, so
+        state maps stay fan-out-sized all the way up.
+        """
+        now = float(message.now) if message.now is not None \
+            else float(self.agent.clock())
+        bound = message.bound
+        region = _as_path(message.region)
+        try:
+            inner = xpath_parser.parse(message.query)
+        except Exception as exc:
+            return ErrorMessage(message.message_id, code="agg-bad-query",
+                                detail=str(exc), retryable=False,
+                                sender=self.agent.site_id)
+        key = summary_key(region, inner)
+        entry = self.summaries.lookup(key, now, max_age=bound,
+                                      tolerance=bound)
+        if entry is not None:
+            state = entry.value
+        else:
+            element = self.agent.database.find(region)
+            if element is None or get_status(element) is not Status.OWNED:
+                return ErrorMessage(
+                    message.message_id, code="agg-not-owned",
+                    detail=f"{self.agent.site_id} does not own the region",
+                    retryable=False, sender=self.agent.site_id)
+            try:
+                state = self._local_rollup(region, element, inner,
+                                           message.query, bound, now)
+            except AggregationUnsupported as exc:
+                return ErrorMessage(
+                    message.message_id, code="agg-unsupported",
+                    detail=str(exc), retryable=False,
+                    sender=self.agent.site_id)
+            except AggregationUnavailable as exc:
+                return ErrorMessage(
+                    message.message_id, code="agg-unavailable",
+                    detail=str(exc), retryable=True,
+                    sender=self.agent.site_id)
+            self.summaries.store(key, state, now, tolerance=bound)
+        partial, data_ts = collapse(state, now)
+        with self._lock:
+            self.stats["partials_served"] += 1
+        return PartialAggregateAnswer(
+            message.message_id, state_of(region, partial, data_ts),
+            sender=self.agent.site_id)
+
+    # ------------------------------------------------------------------
+    # Derived sensors
+    # ------------------------------------------------------------------
+    def register_derived(self, identifier, node_path, formula,
+                         subscribe=None):
+        """Register a formula-defined sensor living at *node_path*.
+
+        The node must already exist in the document (owned here).
+        *subscribe* is a ``(query, callback) -> token`` callable --
+        typically ``cluster.subscribe`` -- used to watch each dependency
+        region through :mod:`repro.net.continuous`; the sensor
+        re-evaluates whenever covered data changes.  Returns the
+        :class:`~repro.agg.derived.DerivedSensor` after its first
+        evaluation.
+        """
+        from repro.agg.derived import DerivedSensor
+
+        sensor = DerivedSensor(identifier, node_path, formula)
+        element = self.agent.database.find(sensor.node_path)
+        if element is None or get_status(element) is not Status.OWNED:
+            raise CoreError(
+                f"derived sensor node {sensor.node_path} is not owned "
+                f"at site {self.agent.site_id!r}")
+        self.derived[identifier] = sensor
+        if subscribe is not None:
+            for query in sensor.dependency_queries():
+                def _on_change(_results, _identifier=identifier):
+                    self.refresh_derived(_identifier)
+
+                sensor.subscriptions.append(subscribe(query, _on_change))
+        self.refresh_derived(identifier)
+        return sensor
+
+    def refresh_derived(self, identifier):
+        """Re-evaluate one derived sensor and write its value back.
+
+        The write-back mirrors the update handler: apply to the owned
+        node, wake continuous queries, re-replicate.  Reentrant calls
+        (the write-back itself fires a covering subscription) are
+        absorbed by the per-sensor guard.
+        """
+        sensor = self.derived[identifier]
+        if not sensor.begin_refresh():
+            return None
+        try:
+            now = float(self.agent.clock())
+            value = sensor.evaluate(
+                lambda query: self.agent.answer_scalar(query, now=now))
+            self.agent.database.apply_update(
+                sensor.node_path, values={"value": sensor.render(value)})
+            sensor.last_value = value
+            with self._lock:
+                self.stats["derived_refreshes"] += 1
+            self.agent.continuous.on_update(sensor.node_path)
+            if self.agent.replication is not None:
+                self.agent.replication.note_update(sensor.node_path)
+            return value
+        except Exception:
+            with self._lock:
+                self.stats["derived_refresh_errors"] += 1
+            raise
+        finally:
+            sensor.end_refresh()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self):
+        """Aggregation counters for the metrics registry / EXPLAIN."""
+        with self._lock:
+            counters = dict(self.stats)
+        summary = self.summaries.metrics()
+        asked = summary["hits"] + summary["misses"]
+        counters["summary"] = summary
+        counters["summary_hit_ratio"] = (
+            round(summary["hits"] / asked, 6) if asked else 0.0)
+        counters["enabled"] = self.enabled
+        counters["derived_sensors"] = sorted(self.derived)
+        return counters

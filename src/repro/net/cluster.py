@@ -31,7 +31,7 @@ class Cluster:
     def __init__(self, global_document, plan, service="parking",
                  zone="intel-iris.net", oa_config=None, clock=None,
                  count_bytes=False, schema=None, network=None,
-                 durability=None, replication=None):
+                 durability=None, replication=None, aggregation=None):
         if not isinstance(plan, PartitionPlan):
             plan = PartitionPlan(plan)
         from repro.xmlkit.nodes import Document as _Document
@@ -70,6 +70,18 @@ class Cluster:
             self.oa_config.replication = replication
         configured = getattr(self.oa_config, "replication", None)
         self.replication_config = (
+            configured if configured is not None and configured.enabled
+            else None
+        )
+
+        # Aggregation: an AggregationConfig turns on hierarchical
+        # aggregate answering + derived sensors, mirrored onto the OA
+        # config exactly like replication (copy guard included).
+        if aggregation is not None:
+            self.oa_config = copy.copy(self.oa_config)
+            self.oa_config.aggregation = aggregation
+        configured = getattr(self.oa_config, "aggregation", None)
+        self.aggregation_config = (
             configured if configured is not None and configured.enabled
             else None
         )
@@ -271,7 +283,7 @@ class Cluster:
         """
         if at_site is None:
             at_site, _path = self.route_query(query)
-        return self.agents[at_site].driver.answer_scalar(
+        return self.agents[at_site].answer_scalar(
             query, now=now, max_age=max_age, precision=precision)
 
     def explain(self, query, analyze=False, now=None):
@@ -358,6 +370,37 @@ class Cluster:
         new_path = parent_path + ((tag, identifier),)
         self.owner_map[new_path] = owner
         return element
+
+    def register_derived_sensor(self, parent_path, identifier, formula,
+                                tag="derived", attributes=None):
+        """Register a formula-defined virtual sensor (needs aggregation).
+
+        Creates an IDable ``<derived>`` node under *parent_path* via the
+        ordinary schema-evolution path (DNS entry included), then
+        registers the formula with the owner's aggregation manager,
+        subscribing each dependency region through
+        :meth:`subscribe`/:mod:`repro.net.continuous` so the sensor
+        re-evaluates when its inputs change.  Returns the
+        :class:`~repro.agg.derived.DerivedSensor`.
+        """
+        if self.aggregation_config is None:
+            raise QueryRoutingError(
+                "derived sensors need Cluster(aggregation=AggregationConfig())")
+        parent_path = tuple(tuple(entry) for entry in parent_path)
+        owner = self.owner_map.get(parent_path)
+        if owner is None:
+            raise QueryRoutingError(f"unknown parent {parent_path}")
+        merged = {"formula": formula}
+        if attributes:
+            merged.update(attributes)
+        self.add_node(parent_path, tag, identifier,
+                      attributes=merged, values={"value": "NaN"})
+        node_path = parent_path + ((tag, identifier),)
+        return self.agents[owner].aggregation.register_derived(
+            identifier, node_path, formula,
+            subscribe=lambda query, callback: self.subscribe(
+                query, callback, fire_immediately=False),
+        )
 
     def remove_node(self, path):
         """Schema evolution: delete an IDable node via its parent's owner."""

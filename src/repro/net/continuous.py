@@ -72,7 +72,8 @@ class ContinuousQueryManager:
     def __init__(self, agent):
         self.agent = agent
         self._subscriptions = {}
-        self.stats = {"evaluations": 0, "notifications": 0}
+        self.stats = {"evaluations": 0, "notifications": 0,
+                      "callback_errors": 0}
 
     def subscribe(self, query, callback, fire_immediately=True):
         """Register *query*; *callback(results)* runs on every change.
@@ -119,5 +120,11 @@ class ContinuousQueryManager:
                 self.stats["notifications"] += 1
                 # The callback runs under the evaluation span: anything
                 # the subscriber traces links into the gather's trace.
+                # A failing subscriber (e.g. a derived sensor whose
+                # re-evaluation needs an unreachable site) must not
+                # take the owner's update path down with it.
                 subscription.last_trace = span.context
-                subscription.callback(results)
+                try:
+                    subscription.callback(results)
+                except Exception:
+                    self.stats["callback_errors"] += 1

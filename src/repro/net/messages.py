@@ -828,6 +828,120 @@ class RehydrateAnswer(Message):
                 f"sender={self.sender!r}{self._repr_size()})")
 
 
+class PartialAggregateRequest(Message):
+    """"Roll up *query* under *region* and send me the merge-state."
+
+    The hierarchical-aggregation ask: instead of gathering a frontier's
+    whole subtree, its owner is asked for the (count, sum, min, max)
+    partial of the matches under *region* -- tuples on the wire, never
+    data.  ``query`` is the inner location path (freshness tolerances
+    already bucket-loosened by the asker); ``bound`` is that loosened
+    freshness bound in seconds (absent for an unbounded ask, which the
+    owner must recompute); ``now`` pins the evaluation clock so
+    consistency predicates filter identically at every level.
+
+    Only sent while ``OAConfig.aggregation`` is enabled -- a disabled
+    build never emits or answers one (wire parity).
+    """
+
+    kind = "partial-agg"
+
+    def __init__(self, region, query, bound=None, now=None, sender=None,
+                 message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.region = tuple(tuple(entry) for entry in region)
+        self.query = query
+        self.bound = float(bound) if bound is not None else None
+        self.now = float(now) if now is not None else None
+
+    def _fill(self, envelope):
+        envelope.set("q", self.query)
+        if self.bound is not None:
+            envelope.set("bound", repr(self.bound))
+        if self.now is not None:
+            envelope.set("now", repr(self.now))
+        envelope.append(_encode_id_path(self.region))
+
+    @classmethod
+    def _parse(cls, envelope):
+        bound = envelope.get("bound")
+        now = envelope.get("now")
+        return cls(
+            region=_decode_id_path(envelope.child("path")),
+            query=envelope.get("q"),
+            bound=float(bound) if bound is not None else None,
+            now=float(now) if now is not None else None,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        bound = "none" if self.bound is None else f"{self.bound:g}s"
+        return (f"PartialAggregateRequest(id={self.message_id}, "
+                f"region={self.region}, bound={bound}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
+class PartialAggregateAnswer(Message):
+    """The reply to a :class:`PartialAggregateRequest`.
+
+    ``state`` is a merge-state -- ``{region id_path: (Partial,
+    data_ts)}`` -- normally collapsed to a single entry keyed by the
+    asked region.  Each entry ships the partial's exact encoding (see
+    :meth:`repro.agg.partial.Partial.to_attrs`: integer count, the
+    rational sum as ``num``/``den``, NaN/infinity flags, finite
+    extrema) plus its data timestamp, so any merge order at the asker
+    reproduces the same aggregate.  Carries ``replyTo`` like every
+    reply kind, so pipelined runtimes correlate it without decoding.
+    """
+
+    kind = "partial-agg-answer"
+
+    def __init__(self, in_reply_to, state, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.in_reply_to = int(in_reply_to)
+        self.state = {
+            tuple(tuple(entry) for entry in region): (partial, float(ts))
+            for region, (partial, ts) in dict(state or {}).items()
+        }
+
+    def _fill(self, envelope):
+        envelope.set("replyTo", str(self.in_reply_to))
+        holder = Element("state")
+        for region in sorted(self.state, key=repr):
+            partial, data_ts = self.state[region]
+            part = Element("part", attrib=partial.to_attrs())
+            part.set("ts", repr(float(data_ts)))
+            part.append(_encode_id_path(region))
+            holder.append(part)
+        envelope.append(holder)
+
+    @classmethod
+    def _parse(cls, envelope):
+        # Lazy: repro.agg imports repro.net for these very messages, so
+        # a module-level import here would make package order matter.
+        from repro.agg.partial import Partial
+
+        state = {}
+        holder = envelope.child("state")
+        if holder is not None:
+            for part in holder.element_children("part"):
+                region = _decode_id_path(part.child("path"))
+                state[region] = (Partial.from_attrs(part.attrib),
+                                 float(part.get("ts")))
+        return cls(
+            in_reply_to=int(envelope.get("replyTo")),
+            state=state,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        return (f"PartialAggregateAnswer(id={self.message_id}, "
+                f"replyTo={self.in_reply_to}, entries={len(self.state)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
 def _peek_envelope_int(text, attr):
     """An integer attribute of the envelope's opening tag, or ``None``.
 
@@ -887,5 +1001,6 @@ _KINDS = {
     for cls in (QueryMessage, AnswerMessage, BatchQueryMessage,
                 BatchAnswerMessage, ErrorMessage, UpdateMessage,
                 AckMessage, AdoptMessage, ReplicateMessage,
-                RehydrateRequest, RehydrateAnswer)
+                RehydrateRequest, RehydrateAnswer,
+                PartialAggregateRequest, PartialAggregateAnswer)
 }

@@ -31,6 +31,7 @@ from repro.net.messages import (
     BatchAnswerMessage,
     BatchQueryMessage,
     ErrorMessage,
+    PartialAggregateRequest,
     QueryMessage,
     RehydrateAnswer,
     RehydrateRequest,
@@ -105,13 +106,20 @@ class OAConfig:
         and restarts rehydrate from peers.  ``None`` (the default) or
         a disabled config keeps the wire byte-identical to a build
         without the subsystem.
+    ``aggregation``
+        the :class:`~repro.agg.AggregationConfig` governing hierarchical
+        aggregation: aggregate queries answered from per-subtree
+        summary caches, partial-aggregate subqueries (merge-state
+        tuples, not subtrees) to child sites, and derived sensors.
+        ``None`` (the default) or a disabled config keeps the wire
+        byte-identical to a build without the subsystem.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
                  fast_codegen=True, generalization=GENERALIZE_ANSWER,
                  executor=None, retry_policy=None, breaker=None,
                  partial_answers=True, stale_on_error=False,
-                 semcache=None, replication=None):
+                 semcache=None, replication=None, aggregation=None):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
@@ -123,6 +131,7 @@ class OAConfig:
         self.stale_on_error = stale_on_error
         self.semcache = semcache
         self.replication = replication
+        self.aggregation = aggregation
 
 
 class OrganizingAgent:
@@ -184,6 +193,17 @@ class OrganizingAgent:
             self.replication = ReplicationManager(self)
         else:
             self.replication = None
+        aggregation = self.config.aggregation
+        #: The aggregation manager, or ``None`` while the subsystem is
+        #: off -- the scalar entry point and the message dispatcher
+        #: gate on that, so the disabled path stays wire-identical.
+        #: (Lazily imported for the same package-order reason as
+        #: replication above.)
+        if aggregation is not None and aggregation.enabled:
+            from repro.agg import AggregationManager
+            self.aggregation = AggregationManager(self)
+        else:
+            self.aggregation = None
         self.stats = {
             "user_queries": 0,
             "subqueries_served": 0,
@@ -493,6 +513,8 @@ class OrganizingAgent:
             return self._handle_replicate(message)
         if isinstance(message, RehydrateRequest):
             return self._handle_rehydrate(message)
+        if isinstance(message, PartialAggregateRequest):
+            return self._handle_partial_aggregate(message)
         raise NetError(
             f"OA {self.site_id!r} cannot handle {type(message).__name__}"
         )
@@ -516,7 +538,7 @@ class OrganizingAgent:
                                  sender=self.site_id)
         self.stats["subqueries_served"] += 1
         if message.scalar:
-            scalar = self.driver.answer_scalar(message.query, now=message.now)
+            scalar = self.answer_scalar(message.query, now=message.now)
             return AnswerMessage(message.message_id, scalar=scalar,
                                  sender=self.site_id)
         fragment = self.driver.answer_any(message.query, now=message.now)
@@ -530,13 +552,40 @@ class OrganizingAgent:
         for query, scalar in message.items:
             if scalar:
                 answers.append(("scalar",
-                                self.driver.answer_scalar(query,
-                                                          now=message.now)))
+                                self.answer_scalar(query,
+                                                   now=message.now)))
             else:
                 answers.append(self.driver.answer_any(query,
                                                       now=message.now))
         return BatchAnswerMessage(message.message_id, answers=answers,
                                   sender=self.site_id)
+
+    def answer_scalar(self, query, now=None, max_age=None, precision=None):
+        """Answer a scalar query, hierarchically when possible.
+
+        The site-level scalar entry point: with aggregation enabled,
+        supported aggregate shapes are answered from summary caches and
+        partial-aggregate rollups; everything else (and every query
+        while the subsystem is off) takes the gather driver's ordinary
+        scalar path unchanged -- same arguments, same answers, same
+        wire bytes.
+        """
+        if self.aggregation is not None:
+            handled, value = self.aggregation.try_answer(
+                query, now=now, max_age=max_age, precision=precision)
+            if handled:
+                return value
+        return self.driver.answer_scalar(query, now=now, max_age=max_age,
+                                         precision=precision)
+
+    def _handle_partial_aggregate(self, message):
+        """Serve a partial-aggregate subquery (rollup merge-state)."""
+        if self.aggregation is None:
+            return ErrorMessage(message.message_id,
+                                code="aggregation-disabled",
+                                detail="aggregation is not enabled here",
+                                retryable=False, sender=self.site_id)
+        return self.aggregation.answer_partial(message)
 
     # ------------------------------------------------------------------
     # Sensor updates

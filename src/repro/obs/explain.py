@@ -88,7 +88,7 @@ class ExplainReport:
 
     def __init__(self, query, site, lca_path, decisions, plan,
                  local_results, routed_site=None, analyze=None,
-                 cache=None, replication=None):
+                 cache=None, replication=None, aggregation=None):
         self.query = query
         self.site = site
         self.lca_path = tuple(tuple(entry) for entry in lca_path)
@@ -104,6 +104,10 @@ class ExplainReport:
         #: Read-replication view: k, this site's ring peers, and the
         #: replica sets it holds (``None`` when the subsystem is off).
         self.replication = replication
+        #: Hierarchical-aggregation view: whether the query rolls up
+        #: through summaries, its summary key, and the cached entry
+        #: that would serve it (``None`` when the subsystem is off).
+        self.aggregation = aggregation
 
     @property
     def complete_locally(self):
@@ -134,6 +138,8 @@ class ExplainReport:
             out["cache"] = self.cache
         if self.replication is not None:
             out["replication"] = self.replication
+        if self.aggregation is not None:
+            out["aggregation"] = self.aggregation
         if self.analyze is not None:
             out["analyze"] = self.analyze
         return out
@@ -198,6 +204,30 @@ class ExplainReport:
             lines.append(
                 f"  replication: k={self.replication.get('k')}"
                 f" peers={peers}")
+        if self.aggregation is not None:
+            agg = self.aggregation
+            if agg.get("shape") is None:
+                lines.append("  aggregation: (not an aggregate query)")
+            elif not agg.get("supported"):
+                lines.append(
+                    f"  aggregation: {agg['shape']}() via naive gather"
+                    f" ({agg.get('problem')})")
+            else:
+                lines.append(
+                    f"  aggregation: {agg['shape']}() via summary rollup")
+                lines.append(f"    summary:   {agg['summary_key']}")
+                entry = agg.get("summary")
+                if entry is not None:
+                    bound = entry.get("tolerance")
+                    bound_text = (f", bound {bound:g}s"
+                                  if bound is not None else "")
+                    lines.append(
+                        f"    summary-cache hit candidate "
+                        f"(age {entry['age']:g}s, hits {entry['hits']}"
+                        f"{bound_text})")
+                else:
+                    lines.append(
+                        "    summary-cache miss (rollup would compute)")
         lines.append(f"  local results: {self.local_results}")
         if self.analyze is not None:
             a = self.analyze
@@ -313,6 +343,55 @@ def _replication_section(agent):
     }
 
 
+def _aggregation_section(agent, source, now):
+    """The hierarchical-aggregation view (``None`` when off).
+
+    Rebuilds the manager's plan side-effect-free and ``peek``s the
+    summary cache, so -- like :func:`_cache_section` -- an EXPLAIN
+    never distorts the hit/miss counters it reports.
+    """
+    manager = getattr(agent, "aggregation", None)
+    if manager is None:
+        return None
+    from repro.agg import SHAPES, summary_key
+
+    info = {"enabled": True, "shape": None,
+            "summaries_held": len(manager.summaries),
+            "derived_sensors": sorted(manager.derived)}
+    try:
+        canon = canonicalize(source, buckets=manager.config.buckets)
+    except Exception:
+        return info
+    ast = canon.bucket_ast
+    if not isinstance(ast, FunctionCall) or ast.name not in SHAPES:
+        return info
+    info["shape"] = ast.name
+    if len(ast.arguments) != 1 or \
+            not isinstance(ast.arguments[0], LocationPath) or \
+            not ast.arguments[0].absolute:
+        info["supported"] = False
+        info["problem"] = "argument is not an absolute path"
+        return info
+    inner = ast.arguments[0]
+    anchor = tuple(tuple(entry) for entry in extract_id_path(inner))
+    problem = manager._support_problem(inner, anchor)
+    if problem is not None:
+        info["supported"] = False
+        info["problem"] = problem
+        return info
+    info["supported"] = True
+    key = summary_key(anchor, inner)
+    info["summary_key"] = key
+    entry = manager.summaries.peek(key)
+    if entry is not None:
+        info["summary"] = {
+            "age": round(entry.age(now), 3),
+            "hits": entry.hits,
+            "tolerance": entry.tolerance,
+        }
+    return info
+
+
 def _extraction_lca(query):
     ast = xpath_parser.parse(query) if isinstance(query, str) else query
     if isinstance(ast, FunctionCall) and ast.arguments and \
@@ -382,4 +461,5 @@ def build_explain(agent, query, analyze=False, now=None,
         analyze=analysis,
         cache=_cache_section(driver, source, now),
         replication=_replication_section(agent),
+        aggregation=_aggregation_section(agent, source, now),
     )

@@ -368,6 +368,56 @@ def replication_counters(agents):
     return totals
 
 
+def aggregation_counters(agents):
+    """Aggregate hierarchical-aggregation counters across agents.
+
+    Sums every aggregating OA's
+    :meth:`AggregationManager.counters` numeric figures (answers,
+    rollups, partial fetches, derived refreshes) plus the summary-cache
+    hit/miss counters, recomputes the cluster-wide
+    ``summary_hit_ratio``, and keeps the per-site snapshots under
+    ``sites``.  Agents without aggregation contribute nothing; with
+    none at all the totals are zero (the subsystem is off).
+    """
+    if hasattr(agents, "values"):
+        agents = dict(agents)
+    else:
+        agents = {getattr(a, "site_id", i): a
+                  for i, a in enumerate(agents)}
+    totals = {
+        "answers": 0,
+        "rollups": 0,
+        "rollup_matches": 0,
+        "partials_fetched": 0,
+        "partials_served": 0,
+        "partial_failures": 0,
+        "fallbacks": 0,
+        "unsupported_queries": 0,
+        "derived_refreshes": 0,
+        "derived_refresh_errors": 0,
+    }
+    summary_totals = {}
+    sites = {}
+    for site, agent in sorted(agents.items()):
+        manager = getattr(agent, "aggregation", None)
+        if manager is None:
+            continue
+        snapshot = manager.counters()
+        sites[site] = snapshot
+        for key in totals:
+            totals[key] += snapshot.get(key, 0)
+        for key, value in snapshot.get("summary", {}).items():
+            if isinstance(value, (int, float)):
+                summary_totals[key] = summary_totals.get(key, 0) + value
+    totals["summary"] = summary_totals
+    asked = summary_totals.get("hits", 0) + summary_totals.get("misses", 0)
+    totals["summary_hit_ratio"] = (
+        round(summary_totals.get("hits", 0) / asked, 6) if asked else 0.0
+    )
+    totals["sites"] = sites
+    return totals
+
+
 def health_snapshots(agents):
     """Per-site circuit-breaker health, keyed ``site -> peer``.
 
@@ -457,6 +507,9 @@ def build_site_registry(agent):
     if getattr(agent, "replication", None) is not None:
         registry.register_collector("replication",
                                     agent.replication.counters)
+    if getattr(agent, "aggregation", None) is not None:
+        registry.register_collector("aggregation",
+                                    agent.aggregation.counters)
     return registry
 
 
@@ -489,6 +542,9 @@ def build_cluster_registry(cluster):
     if getattr(cluster, "replication_config", None) is not None:
         registry.register_collector(
             "replication", lambda: replication_counters(cluster.agents))
+    if getattr(cluster, "aggregation_config", None) is not None:
+        registry.register_collector(
+            "aggregation", lambda: aggregation_counters(cluster.agents))
     registry.register_collector(
         "health", lambda: health_snapshots(cluster.agents))
 

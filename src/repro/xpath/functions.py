@@ -206,7 +206,15 @@ def fn_number(context, arguments):
 def fn_sum(context, arguments):
     _require_arity("sum", arguments, 1)
     node_set = _node_set_argument("sum", arguments[0])
-    return float(sum(to_number(node_string_value(n)) for n in node_set))
+    values = [to_number(node_string_value(n)) for n in node_set]
+    # fsum is correctly rounded: the answer does not depend on document
+    # order, and it agrees bit-for-bit with the hierarchical rollup's
+    # exact-rational sum.  fsum raises where IEEE accumulation is the
+    # wanted semantics (mixed infinities -> NaN, true overflow -> inf).
+    try:
+        return float(math.fsum(values))
+    except (OverflowError, ValueError):
+        return float(sum(values))
 
 
 def fn_floor(context, arguments):
