@@ -80,6 +80,30 @@ class SummaryCache:
     def invalidate(self, key=None):
         self._cache.invalidate(key)
 
+    def evict_regions(self, id_paths):
+        """Drop every summary whose region overlaps one of *id_paths*.
+
+        Called on the old owner when a subtree migrates away: its
+        summaries over that region stop seeing the updates that kept
+        them honest, so they must go.  Region containment is checked
+        on the formatted id-path prefix (both directions -- a summary
+        *under* a migrated path is orphaned, and a summary *above* it
+        folded the migrated data in).  Returns the eviction count.
+        """
+        targets = [format_id_path(tuple(tuple(entry) for entry in path))
+                   for path in id_paths]
+
+        def overlaps(key):
+            region = key.split("::", 1)[0]
+            for target in targets:
+                if region == target or \
+                        region.startswith(target + "/") or \
+                        target.startswith(region + "/"):
+                    return True
+            return False
+
+        return self._cache.evict_matching(overlaps)
+
     def __len__(self):
         return len(self._cache)
 

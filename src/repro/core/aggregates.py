@@ -79,6 +79,30 @@ class AggregateCache:
     def invalidate(self, query=None):
         self.cache.invalidate(query)
 
+    def evict_paths(self, id_paths):
+        """Evict every cached aggregate overlapping one of *id_paths*.
+
+        Keys are canonical query strings; an entry overlaps when its
+        anchor id path is at/below one of the given paths (it was
+        computed from the migrated region) or strictly above one
+        (its value folded the migrated region in).  Unparseable or
+        anchorless keys are left alone.  Returns the eviction count.
+        """
+        from repro.xpath.analysis import anchor_id_path
+
+        targets = [tuple(tuple(entry) for entry in path)
+                   for path in id_paths]
+
+        def overlaps(key):
+            anchor = anchor_id_path(key)
+            if anchor is None:
+                return False
+            return any(anchor[:len(path)] == path
+                       or path[:len(anchor)] == anchor
+                       for path in targets)
+
+        return self.cache.evict_matching(overlaps)
+
     def metrics(self):
         """Registry-facing snapshot (counters + byte/entry gauges)."""
         return self.cache.metrics()

@@ -444,6 +444,7 @@ class SemanticCache:
             "admission_rejects": 0,
             "evictions": 0,
             "evicted_bytes": 0,
+            "predicate_evictions": 0,
         }
 
     # -- internals (call with the lock held) ---------------------------
@@ -567,6 +568,30 @@ class SemanticCache:
                         self._order.remove(key)
                     except ValueError:
                         pass
+
+    def evict_matching(self, predicate):
+        """Evict every entry whose key satisfies *predicate*.
+
+        The targeted-invalidation surface for ownership changes: when
+        a subtree migrates away, the entries covering it must go as
+        one batch (their invalidation feed -- local updates -- moved
+        with the subtree).  Counted under ``predicate_evictions``,
+        separate from budget ``evictions``; returns how many entries
+        were dropped.
+        """
+        with self._lock:
+            doomed = [key for key in self._order if predicate(key)]
+            for key in doomed:
+                entry = self._entries.pop(key, None)
+                if entry is None:
+                    continue
+                self._bytes -= entry.nbytes
+                try:
+                    self._order.remove(key)
+                except ValueError:
+                    pass
+            self.stats["predicate_evictions"] += len(doomed)
+            return len(doomed)
 
     @property
     def nbytes(self):

@@ -45,6 +45,7 @@ serial client against the reactor has one frame in flight at a time.
 import asyncio
 import logging
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.net.errors import FrameTooLarge, NetError
@@ -117,7 +118,8 @@ class AsyncSiteServer:
 
     def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64,
                  handler_workers=2, pause_watermark=None,
-                 resume_watermark=None, wan_rtt=0.0):
+                 resume_watermark=None, wan_rtt=0.0,
+                 service_delay=0.0):
         from repro.obs.registry import Gauge
 
         self.agent = agent
@@ -128,6 +130,10 @@ class AsyncSiteServer:
         #: their delays overlap, exactly as propagation delays overlap
         #: on a real wide-area pipe.
         self.wan_rtt = wan_rtt
+        #: Emulated per-request service time (seconds), slept under the
+        #: agent lock on a handler-pool thread -- same per-machine
+        #: capacity model as the threaded server's knob.
+        self.service_delay = service_delay
         self.agent_lock = threading.Lock()
         self.host = host
         self._requested_port = port
@@ -377,6 +383,8 @@ class AsyncSiteServer:
                          remote_parent=message.trace_ctx) as serve_span:
             try:
                 with self.agent_lock:
+                    if self.service_delay:
+                        time.sleep(self.service_delay)
                     reply = self.agent.handle_message(message)
                     # Encoding stays under the lock: serializing the
                     # reply touches shared site state (the

@@ -31,7 +31,8 @@ class Cluster:
     def __init__(self, global_document, plan, service="parking",
                  zone="intel-iris.net", oa_config=None, clock=None,
                  count_bytes=False, schema=None, network=None,
-                 durability=None, replication=None, aggregation=None):
+                 durability=None, replication=None, aggregation=None,
+                 rebalance=None):
         if not isinstance(plan, PartitionPlan):
             plan = PartitionPlan(plan)
         from repro.xmlkit.nodes import Document as _Document
@@ -86,6 +87,18 @@ class Cluster:
             else None
         )
 
+        # Rebalancing: a RebalanceConfig turns on the adaptive load
+        # balancer (hot-spot detection + live fragment migration),
+        # mirrored onto the OA config like the subsystems above.
+        if rebalance is not None:
+            self.oa_config = copy.copy(self.oa_config)
+            self.oa_config.rebalance = rebalance
+        configured = getattr(self.oa_config, "rebalance", None)
+        self.rebalance_config = (
+            configured if configured is not None and configured.enabled
+            else None
+        )
+
         databases = plan.build_databases(global_document,
                                          default_clock=self.clock)
         self.agents = {}
@@ -98,6 +111,21 @@ class Cluster:
                       "site_kills": 0, "site_restarts": 0,
                       "site_rehydrations": 0, "rehydrated_bytes": 0}
         self._wire_replication()
+
+        #: The adaptive load balancer, or ``None`` while the subsystem
+        #: is off.  The balancer is passive until :meth:`LoadBalancer
+        #: .tick` (or ``.start()``) is called, and it only ever acts
+        #: through the agents' existing protocol, so merely enabling
+        #: it adds no wire traffic on an unskewed workload.
+        self.balancer = None
+        if self.rebalance_config is not None:
+            from repro.rebalance import LoadBalancer
+            self.balancer = LoadBalancer(self, self.rebalance_config)
+            # DNS invalidation fan-out: when a migration re-points a
+            # record, drop it from every resolver cache immediately so
+            # the next query routes to the new owner instead of
+            # waiting out a TTL on the old one.
+            self.dns.subscribe(self._invalidate_resolver_caches)
 
     def _build_agent(self, site, database, prefer_database=False):
         """One OA, durably journalled when durability is configured.
@@ -130,6 +158,16 @@ class Cluster:
             # addresses instead (TcpCluster handles that).
             self.network.register(site, agent)
         return agent
+
+    def _invalidate_resolver_caches(self, name, site):
+        """DNS fan-out target: purge *name* from every resolver cache."""
+        self.client_resolver.invalidate(name)
+        for agent in self.agents.values():
+            agent.resolver.invalidate(name)
+        for sensing_agent in self.sensing_agents:
+            resolver = getattr(sensing_agent, "resolver", None)
+            if resolver is not None:
+                resolver.invalidate(name)
 
     def _wire_replication(self):
         """Pin the site ring on every agent and seed the replica sets.
@@ -484,6 +522,8 @@ class Cluster:
         stop-accepting/finish-in-flight phase on top (see
         :meth:`~repro.net.tcpruntime.TcpCluster.close`).
         """
+        if self.balancer is not None:
+            self.balancer.stop()
         for agent in self.agents.values():
             agent.shutdown(final_checkpoint=final_checkpoint)
         if close_network and hasattr(self.network, "close"):

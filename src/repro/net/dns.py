@@ -41,7 +41,9 @@ class DnsServer:
         self.service = service
         self.zone = zone
         self._records = {}
-        self.stats = {"lookups": 0, "updates": 0, "registrations": 0}
+        self._subscribers = []
+        self.stats = {"lookups": 0, "updates": 0, "registrations": 0,
+                      "remaps": 0, "invalidations": 0}
 
     def name_for(self, id_path):
         """The DNS name of the IDable node at *id_path*."""
@@ -49,6 +51,24 @@ class DnsServer:
                                     zone=self.zone)
 
     # ------------------------------------------------------------------
+    def subscribe(self, callback):
+        """Invalidation fan-out: call ``callback(name, site)`` whenever
+        an existing record is re-pointed.
+
+        Resolver caches are TTL-bounded, so a re-mapped record would
+        otherwise keep routing stale for up to a TTL.  Subscribers
+        (the cluster wires one per resolver when rebalancing is on)
+        drop the cached entry immediately, so the very next query
+        routes to the new owner.
+        """
+        self._subscribers.append(callback)
+
+    def _notify(self, name, site):
+        for callback in list(self._subscribers):
+            callback(name, site)
+        if self._subscribers:
+            self.stats["invalidations"] += 1
+
     def register(self, name, site):
         """Create or replace the record for *name*."""
         record = self._records.get(name)
@@ -57,6 +77,7 @@ class DnsServer:
         else:
             record.site = site
             record.version += 1
+            self._notify(name, site)
         self.stats["registrations"] += 1
 
     def register_id_path(self, id_path, site):
@@ -70,6 +91,36 @@ class DnsServer:
         record.site = site
         record.version += 1
         self.stats["updates"] += 1
+        self._notify(name, site)
+
+    def remap(self, id_path, site):
+        """Point *id_path* at *site*, record-or-register.
+
+        Ownership migration flips existing records; a fragment *split*
+        moves a subtree that never had its own record (it was covered
+        by an ancestor's), so the more-specific name must be created.
+        ``route_query``'s longest-prefix walk then finds it first.
+        """
+        name = self.name_for(id_path)
+        if name in self._records:
+            self.update(name, site)
+        else:
+            self.register(name, site)
+        self.stats["remaps"] += 1
+        return name
+
+    def authoritative_site(self, id_path):
+        """The owner DNS names for *id_path*: longest registered
+        prefix wins.  Reads the records directly (no resolver cache,
+        no lookup accounting) -- this is the reconciliation oracle,
+        not a query path."""
+        path = tuple(tuple(entry) for entry in id_path)
+        while path:
+            record = self._records.get(self.name_for(path))
+            if record is not None:
+                return record.site
+            path = path[:-1]
+        return None
 
     def remove(self, name):
         self._records.pop(name, None)

@@ -81,6 +81,7 @@ class FaultyNetwork:
         self._lock = threading.Lock()
         self._kill_hook = None
         self._restart_hook = None
+        self._triggers = []
         self.fault_stats = {
             "requests": 0,
             "drops": 0,
@@ -91,6 +92,7 @@ class FaultyNetwork:
             "delivered": 0,
             "agent_kills": 0,
             "agent_restarts": 0,
+            "triggered": 0,
         }
 
     # -- crash schedule --------------------------------------------------
@@ -139,6 +141,48 @@ class FaultyNetwork:
         self.recover(site)
         self._count("agent_restarts")
 
+    # -- targeted triggers ----------------------------------------------
+    def add_trigger(self, kind, action="drop", src=None, dst=None, times=1):
+        """Arm a deterministic fault for specific messages.
+
+        The probabilistic rates above model background weather; a
+        *trigger* instead fires on the next *times* messages whose
+        ``message.kind`` equals *kind* (and whose endpoints match
+        *src*/*dst* when given), regardless of the seeded draw.  That
+        is what migration-step chaos needs: "drop exactly the adopt
+        request", "reset exactly the adopt reply", "kill the adopter
+        the moment the adopt arrives" -- reproducible without tuning
+        rates until the right message happens to lose the lottery.
+
+        *action* is one of ``"drop"``, ``"reset"``, ``"error"`` or
+        ``"kill"`` (crash the destination agent via the bound
+        lifecycle hooks, then fail the request).
+        """
+        if action not in ("drop", "reset", "error", "kill"):
+            raise ValueError(f"unknown trigger action {action!r}")
+        with self._lock:
+            self._triggers.append({
+                "kind": kind, "action": action,
+                "src": src, "dst": dst, "left": int(times),
+            })
+
+    def _match_trigger(self, src, dst, message):
+        kind = getattr(message, "kind", None)
+        with self._lock:
+            for trigger in self._triggers:
+                if trigger["left"] <= 0:
+                    continue
+                if trigger["kind"] != kind:
+                    continue
+                if trigger["src"] is not None and trigger["src"] != src:
+                    continue
+                if trigger["dst"] is not None and trigger["dst"] != dst:
+                    continue
+                trigger["left"] -= 1
+                self.fault_stats["triggered"] += 1
+                return trigger["action"]
+        return None
+
     # -- fault draws -----------------------------------------------------
     def _draw(self, src, dst):
         """The deterministic fraction for this link's next request."""
@@ -178,6 +222,24 @@ class FaultyNetwork:
 
     # -- transport interface --------------------------------------------
     def request(self, src, dst, message):
+        triggered = self._match_trigger(src, dst, message)
+        if triggered == "kill":
+            self.kill_agent(dst)
+            raise SiteDown(
+                f"injected: site {dst!r} killed on {message.kind}")
+        if triggered == "drop":
+            raise InjectedFault(
+                f"injected: {message.kind} {src!r}->{dst!r} dropped "
+                "(trigger)")
+        if triggered == "reset":
+            self.inner.request(src, dst, message)
+            raise InjectedFault(
+                f"injected: connection {src!r}->{dst!r} reset before "
+                "reply (trigger)")
+        if triggered == "error":
+            return ErrorMessage(message.message_id, code="injected-error",
+                                detail="injected error reply (trigger)",
+                                retryable=True, sender=dst)
         fault = self._decide(src, dst)
         if fault == "down":
             raise SiteDown(f"injected: site {dst!r} is down")
@@ -201,6 +263,12 @@ class FaultyNetwork:
 
     def tell(self, src, dst, message):
         """One-way send: injected losses vanish silently, as on a WAN."""
+        triggered = self._match_trigger(src, dst, message)
+        if triggered == "kill":
+            self.kill_agent(dst)
+            return
+        if triggered in ("drop", "reset", "error"):
+            return
         fault = self._decide(src, dst)
         if fault in ("down", "drop"):
             return

@@ -652,6 +652,91 @@ class AdoptMessage(Message):
                 f"sender={self.sender!r}{self._repr_size()})")
 
 
+class MigrateReleaseMessage(Message):
+    """Migration rollback: "release the nodes I asked you to adopt".
+
+    Sent by a migrating owner whose adopt exchange failed after the
+    request may already have been delivered (reply lost, connection
+    reset).  Adoption is idempotent, so the only dangerous outcome is
+    *dual ownership*; this message tells the would-be adopter to demote
+    the listed paths back to cached copies.  It is best-effort -- if it
+    is lost too, the balancer's DNS-authority reconciliation pass
+    demotes the loser on a later tick.
+    """
+
+    kind = "migrate-release"
+
+    def __init__(self, id_paths, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.id_paths = [tuple(tuple(e) for e in path) for path in id_paths]
+
+    def _fill(self, envelope):
+        paths = Element("paths")
+        for path in self.id_paths:
+            paths.append(_encode_id_path(path))
+        envelope.append(paths)
+
+    @classmethod
+    def _parse(cls, envelope):
+        paths = [
+            _decode_id_path(p)
+            for p in envelope.child("paths").element_children("path")
+        ]
+        return cls(
+            id_paths=paths,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        return (f"MigrateReleaseMessage(id={self.message_id}, "
+                f"nodes={len(self.id_paths)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
+class ReplicaRetireMessage(Message):
+    """Ring re-placement: "drop the replicas you hold for me here".
+
+    After an owner migrates a subtree away, the replicas it pushed to
+    its ring successors are stale forever -- the new owner replicates
+    to *its own* successors instead.  Retiring them keeps a later
+    failover from serving the frozen copy.  One-way and best-effort,
+    like :class:`ReplicateMessage`.
+    """
+
+    kind = "replica-retire"
+
+    def __init__(self, owner, id_paths, sender=None, message_id=None):
+        super().__init__(sender=sender, message_id=message_id)
+        self.owner = owner
+        self.id_paths = [tuple(tuple(e) for e in path) for path in id_paths]
+
+    def _fill(self, envelope):
+        envelope.set("owner", self.owner)
+        paths = Element("paths")
+        for path in self.id_paths:
+            paths.append(_encode_id_path(path))
+        envelope.append(paths)
+
+    @classmethod
+    def _parse(cls, envelope):
+        paths = [
+            _decode_id_path(p)
+            for p in envelope.child("paths").element_children("path")
+        ]
+        return cls(
+            owner=envelope.get("owner"),
+            id_paths=paths,
+            sender=envelope.get("sender"),
+            message_id=int(envelope.get("id")),
+        )
+
+    def __repr__(self):
+        return (f"ReplicaRetireMessage(id={self.message_id}, "
+                f"owner={self.owner!r}, nodes={len(self.id_paths)}, "
+                f"sender={self.sender!r}{self._repr_size()})")
+
+
 def _encode_stamps(stamps):
     """``{id_path: (timestamp, version)}`` as a ``<stamps>`` holder."""
     holder = Element("stamps")
@@ -1000,7 +1085,8 @@ _KINDS = {
     cls.kind: cls
     for cls in (QueryMessage, AnswerMessage, BatchQueryMessage,
                 BatchAnswerMessage, ErrorMessage, UpdateMessage,
-                AckMessage, AdoptMessage, ReplicateMessage,
+                AckMessage, AdoptMessage, MigrateReleaseMessage,
+                ReplicaRetireMessage, ReplicateMessage,
                 RehydrateRequest, RehydrateAnswer,
                 PartialAggregateRequest, PartialAggregateAnswer)
 }

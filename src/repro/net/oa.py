@@ -6,6 +6,9 @@ answers user queries and subqueries via the gather driver, applies or
 forwards sensor updates, and takes part in ownership migrations.
 """
 
+import threading
+from collections import deque
+
 from repro.core.errors import CoreError
 from repro.core.executors import SerialExecutor, resolve_executor
 from repro.core.gather import GatherDriver, SubqueryFailure
@@ -31,8 +34,10 @@ from repro.net.messages import (
     BatchAnswerMessage,
     BatchQueryMessage,
     ErrorMessage,
+    MigrateReleaseMessage,
     PartialAggregateRequest,
     QueryMessage,
+    ReplicaRetireMessage,
     RehydrateAnswer,
     RehydrateRequest,
     ReplicateMessage,
@@ -113,13 +118,21 @@ class OAConfig:
         tuples, not subtrees) to child sites, and derived sensors.
         ``None`` (the default) or a disabled config keeps the wire
         byte-identical to a build without the subsystem.
+    ``rebalance``
+        the :class:`~repro.rebalance.RebalanceConfig` governing the
+        adaptive load balancer (hot-spot detection, fragment splits,
+        live migration).  The balancer itself is a cluster-level loop;
+        the per-agent effects are the always-local load tracker and
+        the migration-safety hooks, so ``None`` (the default) or a
+        disabled config keeps the wire byte-identical.
     """
 
     def __init__(self, cache_results=True, nesting_strategy=FETCH_SUBTREE,
                  fast_codegen=True, generalization=GENERALIZE_ANSWER,
                  executor=None, retry_policy=None, breaker=None,
                  partial_answers=True, stale_on_error=False,
-                 semcache=None, replication=None, aggregation=None):
+                 semcache=None, replication=None, aggregation=None,
+                 rebalance=None):
         self.cache_results = cache_results
         self.nesting_strategy = nesting_strategy
         self.fast_codegen = fast_codegen
@@ -132,6 +145,7 @@ class OAConfig:
         self.semcache = semcache
         self.replication = replication
         self.aggregation = aggregation
+        self.rebalance = rebalance
 
 
 class OrganizingAgent:
@@ -204,6 +218,22 @@ class OrganizingAgent:
             self.aggregation = AggregationManager(self)
         else:
             self.aggregation = None
+        #: Per-anchor served-query counters (always on: strictly local
+        #: state, no wire traffic, no clock reads -- the balancer's
+        #: detection signal, and harmless without a balancer).
+        from repro.rebalance.tracker import PathLoadTracker
+        self.load = PathLoadTracker()
+        #: Migration-in-progress bookkeeping: while a region is being
+        #: handed off, updates to it are applied locally (this site
+        #: still owns it) *and* recorded, then forwarded to the new
+        #: owner once the hand-off commits -- no update is blocked,
+        #: shed, or lost across the window.
+        self._migrating = ()
+        self._held_updates = []
+        self._migration_lock = threading.Lock()
+        #: Recent migrations touching this site (both directions), for
+        #: EXPLAIN's "ownership moved" annotations.
+        self.migration_log = deque(maxlen=32)
         self.stats = {
             "user_queries": 0,
             "subqueries_served": 0,
@@ -213,6 +243,12 @@ class OrganizingAgent:
             "batches_sent": 0,
             "migrations_out": 0,
             "migrations_in": 0,
+            "migrations_aborted": 0,
+            "migrations_released": 0,
+            "held_updates_forwarded": 0,
+            "held_updates_lost": 0,
+            "migration_cache_evictions": 0,
+            "migration_summary_evictions": 0,
             "retries": 0,
             "subquery_failures": 0,
             "circuit_fast_fails": 0,
@@ -478,6 +514,7 @@ class OrganizingAgent:
         attributes) detached elements.
         """
         self.stats["user_queries"] += 1
+        self.load.record_query(query)
         with TRACER.span("user-query", site=self.site_id,
                          tags={"query": str(query)}):
             results, outcome = self.driver.answer_user_query(query, now=now)
@@ -509,6 +546,10 @@ class OrganizingAgent:
             return self._handle_update(message)
         if isinstance(message, AdoptMessage):
             return self._handle_adopt(message)
+        if isinstance(message, MigrateReleaseMessage):
+            return self._handle_migrate_release(message)
+        if isinstance(message, ReplicaRetireMessage):
+            return self._handle_replica_retire(message)
         if isinstance(message, ReplicateMessage):
             return self._handle_replicate(message)
         if isinstance(message, RehydrateRequest):
@@ -520,6 +561,7 @@ class OrganizingAgent:
         )
 
     def _handle_query(self, message):
+        self.load.record_query(message.query)
         if message.user:
             self.stats["user_queries"] += 1
             results, outcome = self.driver.answer_user_query(
@@ -548,6 +590,8 @@ class OrganizingAgent:
     def _handle_batch(self, message):
         """Answer a batched subquery: one reply per item, in order."""
         self.stats["subqueries_served"] += len(message.items)
+        for query, _scalar in message.items:
+            self.load.record_query(query)
         answers = []
         for query, scalar in message.items:
             if scalar:
@@ -597,6 +641,13 @@ class OrganizingAgent:
                                        attributes=message.attributes,
                                        values=message.values)
             self.stats["updates_applied"] += 1
+            if self._migrating:
+                # Mid-migration: this site still owns the node (the
+                # commit has not happened), so the update was applied
+                # normally above -- but the exported fragment predates
+                # it, so it must also follow the data to the new owner
+                # once the hand-off commits.
+                self._note_held_update(message)
             self.continuous.on_update(message.id_path)
             if self.replication is not None:
                 self.replication.note_update(message.id_path)
@@ -620,13 +671,34 @@ class OrganizingAgent:
     # ------------------------------------------------------------------
     def delegate(self, id_path, new_owner, dns_server):
         """Move ownership of the node at *id_path* (and the contiguous
-        owned region below it) to *new_owner*.
+        owned region below it) to *new_owner* -- live, with rollback.
 
-        Follows the paper's protocol: export the local information,
-        have the new owner adopt it (its status becomes ``owned``
-        there), demote the local copies to ``complete``, and finally
-        flip the DNS entries -- the step that makes the transfer atomic
-        for the rest of the system.
+        The paper's protocol (export, adopt, demote, DNS flip) plus
+        the cover that makes it safe under traffic and faults:
+
+        - **queries** are never blocked: this site owns the region
+          until the commit, and keeps a complete demoted copy after
+          it, so reads are answerable at every instant;
+        - **updates** landing mid-hand-off are applied locally (still
+          the owner) *and* recorded, then forwarded to the new owner
+          after the commit -- nothing is shed or reordered past the
+          exported fragment;
+        - the **adopt exchange is retried** (adoption is idempotent:
+          a reset that lost only the reply is healed by the resend);
+        - on terminal failure a best-effort
+          :class:`~repro.net.messages.MigrateReleaseMessage` tells the
+          would-be adopter to demote anything it adopted, and this
+          site **rolls back** -- it simply keeps ownership, held
+          updates already applied.  If the release is lost too, the
+          balancer's DNS-authority reconciliation demotes the loser;
+        - the **commit point is the DNS flip** (in-process, cannot
+          fail partway): after it, stale-DNS stragglers that still
+          reach this site are forwarded per fresh DNS (updates) or
+          answered from the demoted complete copy (queries);
+        - after the commit, cached aggregates and summaries covering
+          the migrated region are evicted (their invalidation feed --
+          local updates -- just moved away) and this site's replicas
+          of the region are retired from its ring peers.
         """
         id_path = tuple(tuple(entry) for entry in id_path)
         element = self.database.find(id_path)
@@ -635,24 +707,162 @@ class OrganizingAgent:
                 f"site {self.site_id!r} does not own {id_path}"
             )
         region = self._owned_region(element)
-        fragment = self._export_region(region)
         paths = [tuple(tuple(e) for e in id_path_of(node)) for node in region]
 
-        reply = self.network.request(
-            self.site_id, new_owner,
-            AdoptMessage(paths, fragment, sender=self.site_id),
-        )
-        if not (isinstance(reply, AckMessage) and reply.ok):
-            raise MigrationError(
-                f"site {new_owner!r} refused adoption: "
-                f"{getattr(reply, 'detail', reply)!r}"
-            )
-        for path in paths:
-            relinquish_ownership(self.database, path)
-        for path in paths:
-            dns_server.update(dns_server.name_for(path), new_owner)
+        self._begin_migration(paths)
+        committed = False
+        try:
+            fragment = self._export_region(region)
+            reply, last_error = self._send_adopt(new_owner, paths, fragment)
+            if not (isinstance(reply, AckMessage) and reply.ok):
+                self._abort_migration(new_owner, paths)
+                detail = (getattr(reply, "detail", reply)
+                          if reply is not None else last_error)
+                raise MigrationError(
+                    f"site {new_owner!r} refused adoption: {detail!r}"
+                )
+            for path in paths:
+                relinquish_ownership(self.database, path)
+            for path in paths:
+                dns_server.remap(path, new_owner)
+            committed = True
+        finally:
+            held = self._end_migration()
+        self._forward_held_updates(new_owner, held)
+        self._evict_migrated(paths)
+        if self.replication is not None:
+            self.replication.retire_paths(paths)
         self.stats["migrations_out"] += 1
+        self.migration_log.append(
+            {"direction": "out", "peer": new_owner, "paths": list(paths)})
         return paths
+
+    def _adopt_attempts(self):
+        rebalance = getattr(self.config, "rebalance", None)
+        if rebalance is not None:
+            return max(1, rebalance.adopt_attempts)
+        return 3
+
+    def _send_adopt(self, new_owner, paths, fragment):
+        """The retried adopt exchange; returns ``(reply, last_error)``."""
+        adopt = AdoptMessage(paths, fragment, sender=self.site_id)
+        reply = None
+        last_error = None
+        for _attempt in range(self._adopt_attempts()):
+            try:
+                reply = self.network.request(self.site_id, new_owner, adopt)
+            except (NetError, OSError) as exc:
+                last_error = exc
+                reply = None
+                continue
+            if isinstance(reply, ErrorMessage) and reply.retryable:
+                last_error = reply
+                reply = None
+                continue
+            break
+        return reply, last_error
+
+    def _begin_migration(self, paths):
+        with self._migration_lock:
+            self._migrating = tuple(paths)
+            self._held_updates = []
+
+    def _end_migration(self):
+        with self._migration_lock:
+            held, self._held_updates = self._held_updates, []
+            self._migrating = ()
+            return held
+
+    def _note_held_update(self, message):
+        path = message.id_path
+        with self._migration_lock:
+            if any(path[:len(prefix)] == prefix
+                   for prefix in self._migrating):
+                self._held_updates.append(
+                    (path, dict(message.attributes), dict(message.values)))
+
+    def _abort_migration(self, new_owner, paths):
+        """Best-effort release after a failed adopt exchange.
+
+        The dangerous failure is a *delivered* adopt whose reply was
+        lost: the peer may now consider itself owner.  This site keeps
+        ownership (rollback is "do nothing" -- held updates were
+        applied locally), and the release tells the peer to demote.
+        One-way and unacknowledged by design; the reconciliation pass
+        covers the double-loss case.
+        """
+        release = MigrateReleaseMessage(list(paths), sender=self.site_id)
+        try:
+            if hasattr(self.network, "tell"):
+                self.network.tell(self.site_id, new_owner, release)
+            else:
+                self.network.request(self.site_id, new_owner, release)
+        except (NetError, OSError):
+            pass
+        self.stats["migrations_aborted"] += 1
+
+    def _forward_held_updates(self, new_owner, held):
+        """Replay updates recorded during the hand-off window."""
+        for path, attributes, values in held:
+            message = UpdateMessage(path, attributes=attributes,
+                                    values=values, sender=self.site_id)
+            delivered = False
+            for _attempt in range(self._adopt_attempts()):
+                try:
+                    reply = self.network.request(
+                        self.site_id, new_owner, message)
+                except (NetError, OSError):
+                    continue
+                if isinstance(reply, ErrorMessage) and reply.retryable:
+                    continue
+                delivered = True
+                break
+            if delivered:
+                self.stats["held_updates_forwarded"] += 1
+            else:
+                self.stats["held_updates_lost"] += 1
+
+    def _evict_migrated(self, paths):
+        """Drop cached state whose invalidation feed just moved away.
+
+        The old owner's cached aggregates and summaries over the
+        migrated region were kept honest by local updates; those
+        updates now flow to the new owner, so the entries would serve
+        stale values for ever.  Evicting them turns the next hit into
+        an ordinary (correct) re-fetch.
+        """
+        aggregates = getattr(self.driver, "aggregates", None)
+        if aggregates is not None:
+            evicted = aggregates.evict_paths(paths)
+            self.stats["migration_cache_evictions"] += evicted
+        if self.aggregation is not None:
+            dropped = self.aggregation.summaries.evict_regions(paths)
+            self.stats["migration_summary_evictions"] += dropped
+
+    def _handle_migrate_release(self, message):
+        """Demote paths adopted in a migration the old owner aborted."""
+        released = 0
+        for path in message.id_paths:
+            element = self.database.find(path)
+            if element is not None and get_status(element) is Status.OWNED:
+                relinquish_ownership(self.database, path)
+                released += 1
+        if released:
+            self.stats["migrations_released"] += 1
+            if self.replication is not None:
+                self.replication.retire_paths(message.id_paths)
+        return AckMessage(message.message_id, ok=True, detail=str(released),
+                          sender=self.site_id)
+
+    def _handle_replica_retire(self, message):
+        """Drop replica stamps for a region *message.owner* migrated."""
+        if self.replication is None:
+            return AckMessage(message.message_id, ok=False,
+                              detail="replication disabled",
+                              sender=self.site_id)
+        dropped = self.replication.retire(message.owner, message.id_paths)
+        return AckMessage(message.message_id, ok=True, detail=str(dropped),
+                          sender=self.site_id)
 
     def _owned_region(self, element):
         """The contiguous owned subtree rooted at *element*."""
@@ -682,6 +892,9 @@ class OrganizingAgent:
             return AckMessage(message.message_id, ok=False, detail=str(exc),
                               sender=self.site_id)
         self.stats["migrations_in"] += 1
+        self.migration_log.append(
+            {"direction": "in", "peer": message.sender,
+             "paths": list(message.id_paths)})
         if self.replication is not None:
             # The adopted region is now this site's to replicate.
             self.replication.note_owned(message.id_paths)

@@ -188,6 +188,8 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                             remote_parent=message.trace_ctx) as serve_span:
                         try:
                             with self.server.agent_lock:
+                                if self.server.service_delay:
+                                    time.sleep(self.server.service_delay)
                                 reply = self.server.agent.handle_message(
                                     message)
                                 # Encoding stays under the lock:
@@ -251,11 +253,21 @@ class TcpSiteServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(self, agent, host="127.0.0.1", port=0, max_pending=64,
-                 wan_rtt=0.0):
+                 wan_rtt=0.0, service_delay=0.0):
         super().__init__((host, port), _AgentRequestHandler)
         from repro.obs.registry import Gauge
 
         self.agent = agent
+        #: Emulated per-request service time (seconds), slept *under*
+        #: the agent lock.  In the deployed system every site is its
+        #: own machine; in-process, all sites share one interpreter, so
+        #: CPU-bound handling makes the sites' capacities one pooled
+        #: number and a load experiment cannot see per-site saturation.
+        #: The lock-held sleep restores the per-machine capacity model
+        #: (sleeps release the GIL, so distinct sites genuinely serve
+        #: in parallel) -- it is what lets the rebalancing bench show a
+        #: hot *site*, not a hot interpreter.
+        self.service_delay = service_delay
         #: Emulated wide-area round-trip time per request (seconds).
         #: Everything in this repo runs on localhost, but the paper's
         #: deployment target is wide-area links where each framed
@@ -583,7 +595,7 @@ class TcpCluster:
 
     def __init__(self, global_document, plan, network_wrapper=None,
                  max_pending=64, runtime="threaded", pipelining=None,
-                 wan_rtt=0.0, **cluster_kwargs):
+                 wan_rtt=0.0, service_delay=0.0, **cluster_kwargs):
         from repro.net.cluster import Cluster
 
         if runtime not in ("threaded", "reactor"):
@@ -606,18 +618,28 @@ class TcpCluster:
         self.cluster = Cluster(global_document, plan, **cluster_kwargs)
         self.max_pending = max_pending
         self.wan_rtt = wan_rtt
+        self.service_delay = service_delay
         self.network = (self.tcp_network if network_wrapper is None
                         else network_wrapper(self.tcp_network))
         self.servers = {}
         self._parked_addresses = {}
         for site, agent in self.cluster.agents.items():
             server = self._server_cls(agent, max_pending=max_pending,
-                                      wan_rtt=wan_rtt).start()
+                                      wan_rtt=wan_rtt,
+                                      service_delay=service_delay).start()
             self.servers[site] = server
             self.network.register_address(site, server.address)
         for agent in self.cluster.agents.values():
             agent.network = self.network
         self.cluster.network = self.network
+        if self.cluster.balancer is not None:
+            # Server pressure (admission sheds, queue depth) joins the
+            # served-query counters as an overload signal.
+            self.cluster.balancer.attach_runtime(self)
+
+    @property
+    def balancer(self):
+        return self.cluster.balancer
 
     def __enter__(self):
         return self
@@ -645,7 +667,8 @@ class TcpCluster:
         agent.network = self.network
         server = self._server_cls(agent, host=host, port=port,
                                   max_pending=self.max_pending,
-                                  wan_rtt=self.wan_rtt).start()
+                                  wan_rtt=self.wan_rtt,
+                                  service_delay=self.service_delay).start()
         self.servers[site] = server
         self.network.register_address(site, server.address)
         return agent

@@ -88,7 +88,8 @@ class ExplainReport:
 
     def __init__(self, query, site, lca_path, decisions, plan,
                  local_results, routed_site=None, analyze=None,
-                 cache=None, replication=None, aggregation=None):
+                 cache=None, replication=None, aggregation=None,
+                 rebalance=None):
         self.query = query
         self.site = site
         self.lca_path = tuple(tuple(entry) for entry in lca_path)
@@ -108,6 +109,10 @@ class ExplainReport:
         #: through summaries, its summary key, and the cached entry
         #: that would serve it (``None`` when the subsystem is off).
         self.aggregation = aggregation
+        #: Recent ownership migrations at this site touching the
+        #: query's LCA ("ownership moved" annotations; ``None`` when
+        #: the site has seen none).
+        self.rebalance = rebalance
 
     @property
     def complete_locally(self):
@@ -140,6 +145,8 @@ class ExplainReport:
             out["replication"] = self.replication
         if self.aggregation is not None:
             out["aggregation"] = self.aggregation
+        if self.rebalance is not None:
+            out["rebalance"] = self.rebalance
         if self.analyze is not None:
             out["analyze"] = self.analyze
         return out
@@ -228,6 +235,16 @@ class ExplainReport:
                 else:
                     lines.append(
                         "    summary-cache miss (rollup would compute)")
+        if self.rebalance is not None:
+            lines.append("  rebalance:")
+            for entry in self.rebalance:
+                arrow = "<-" if entry["direction"] == "in" else "->"
+                moved = (" [ownership moved]"
+                         if entry.get("covers_query") else "")
+                paths = ", ".join(
+                    _format_id_path(path) for path in entry["paths"])
+                lines.append(
+                    f"    {arrow} {entry['peer']}: {paths}{moved}")
         lines.append(f"  local results: {self.local_results}")
         if self.analyze is not None:
             a = self.analyze
@@ -392,6 +409,35 @@ def _aggregation_section(agent, source, now):
     return info
 
 
+def _rebalance_section(agent, lca_path):
+    """Recent ownership migrations at *agent* (``None`` when none).
+
+    Each entry of the OA's ``migration_log`` is reported with its
+    direction and peer; entries whose paths overlap the query's LCA are
+    flagged ``covers_query`` -- the "ownership moved" annotation that
+    explains why a fragment this site used to answer now routes
+    elsewhere (or vice versa).
+    """
+    log = list(getattr(agent, "migration_log", ()))
+    if not log:
+        return None
+    lca = tuple(tuple(entry) for entry in lca_path)
+
+    def overlaps(path):
+        path = tuple(tuple(entry) for entry in path)
+        return path[:len(lca)] == lca or lca[:len(path)] == path
+
+    return [
+        {
+            "direction": entry["direction"],
+            "peer": entry["peer"],
+            "paths": [[list(e) for e in path] for path in entry["paths"]],
+            "covers_query": any(overlaps(path) for path in entry["paths"]),
+        }
+        for entry in log
+    ]
+
+
 def _extraction_lca(query):
     ast = xpath_parser.parse(query) if isinstance(query, str) else query
     if isinstance(ast, FunctionCall) and ast.arguments and \
@@ -450,10 +496,11 @@ def build_explain(agent, query, analyze=False, now=None,
                 if not isinstance(subquery, SubqueryFailure)
             ],
         }
+    lca_path = _extraction_lca(source)
     return ExplainReport(
         query=source,
         site=agent.site_id,
-        lca_path=_extraction_lca(source),
+        lca_path=lca_path,
         decisions=observer.decisions,
         plan=plan,
         local_results=result.stats.get("results_local", 0),
@@ -462,4 +509,5 @@ def build_explain(agent, query, analyze=False, now=None,
         cache=_cache_section(driver, source, now),
         replication=_replication_section(agent),
         aggregation=_aggregation_section(agent, source, now),
+        rebalance=_rebalance_section(agent, lca_path),
     )

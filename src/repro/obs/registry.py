@@ -418,6 +418,54 @@ def aggregation_counters(agents):
     return totals
 
 
+def rebalance_counters(agents, balancer=None):
+    """Aggregate adaptive-rebalancing counters across agents.
+
+    Sums every OA's migration-safety stats (migrations in/out/aborted,
+    held updates forwarded/lost, migration-driven cache evictions) and
+    its :class:`~repro.rebalance.tracker.PathLoadTracker` figures, and
+    -- when a cluster :class:`~repro.rebalance.balancer.LoadBalancer`
+    is passed -- merges its control-loop counters under ``balancer``.
+    The per-site tracker snapshots live under ``sites``.
+    """
+    if hasattr(agents, "values"):
+        agents = dict(agents)
+    else:
+        agents = {getattr(a, "site_id", i): a
+                  for i, a in enumerate(agents)}
+    totals = {
+        "migrations_in": 0,
+        "migrations_out": 0,
+        "migrations_aborted": 0,
+        "migrations_released": 0,
+        "held_updates_forwarded": 0,
+        "held_updates_lost": 0,
+        "migration_cache_evictions": 0,
+        "migration_summary_evictions": 0,
+        "tracked_queries": 0,
+        "tracked_anchors": 0,
+    }
+    sites = {}
+    for site, agent in sorted(agents.items()):
+        for key in ("migrations_in", "migrations_out",
+                    "migrations_aborted", "migrations_released",
+                    "held_updates_forwarded", "held_updates_lost",
+                    "migration_cache_evictions",
+                    "migration_summary_evictions"):
+            totals[key] += agent.stats.get(key, 0)
+        tracker = getattr(agent, "load", None)
+        if tracker is None:
+            continue
+        snapshot = tracker.counters()
+        sites[site] = snapshot
+        totals["tracked_queries"] += snapshot.get("queries", 0)
+        totals["tracked_anchors"] += snapshot.get("anchors", 0)
+    totals["sites"] = sites
+    if balancer is not None:
+        totals["balancer"] = balancer.counters()
+    return totals
+
+
 def health_snapshots(agents):
     """Per-site circuit-breaker health, keyed ``site -> peer``.
 
@@ -510,6 +558,11 @@ def build_site_registry(agent):
     if getattr(agent, "aggregation", None) is not None:
         registry.register_collector("aggregation",
                                     agent.aggregation.counters)
+    if getattr(agent, "load", None) is not None:
+        # The migration-safety stats (migrations_in/out/aborted, held
+        # updates, eviction counts) already flow through the "oa"
+        # collector; this adds the per-path load attribution figures.
+        registry.register_collector("load", agent.load.counters)
     return registry
 
 
@@ -545,6 +598,11 @@ def build_cluster_registry(cluster):
     if getattr(cluster, "aggregation_config", None) is not None:
         registry.register_collector(
             "aggregation", lambda: aggregation_counters(cluster.agents))
+    if getattr(cluster, "balancer", None) is not None:
+        registry.register_collector(
+            "rebalance",
+            lambda: rebalance_counters(cluster.agents,
+                                       balancer=cluster.balancer))
     registry.register_collector(
         "health", lambda: health_snapshots(cluster.agents))
 

@@ -45,6 +45,7 @@ from repro.net.messages import (
     ErrorMessage,
     RehydrateAnswer,
     RehydrateRequest,
+    ReplicaRetireMessage,
     ReplicateMessage,
 )
 from repro.xpath import parser as xpath_parser
@@ -272,6 +273,8 @@ class ReplicationManager:
             "replica_too_stale": 0,
             "failover_no_replica": 0,
             "rehydrations_served": 0,
+            "retires_sent": 0,
+            "retired_entries": 0,
             "lag_count": 0,
             "lag_total": 0.0,
             "lag_max": 0.0,
@@ -304,6 +307,64 @@ class ReplicationManager:
         """Bootstrap: push every owned node to this site's replica set."""
         self._replicate([_as_path(path)
                          for path in self.agent.database.owned_paths()])
+
+    def retire_paths(self, id_paths):
+        """Ring re-placement after migrating *id_paths* away.
+
+        The replicas this site pushed for the region are stale for
+        ever -- the new owner replicates to *its own* ring successors
+        (``note_owned`` on adoption).  Telling our peers to drop their
+        stamps keeps a later failover from serving the frozen copy.
+        Fire-and-forget, like replication itself: a lost retire only
+        leaves a stamp whose age keeps growing, which the freshness
+        check already refuses to serve eventually.
+        """
+        if not self.enabled:
+            return 0
+        peers = self.peers()
+        if not peers or not id_paths:
+            return 0
+        message = ReplicaRetireMessage(
+            self.agent.site_id, [_as_path(path) for path in id_paths],
+            sender=self.agent.site_id)
+        for peer in peers:
+            self.agent.network.tell(self.agent.site_id, peer, message)
+        with self._lock:
+            self.stats["retires_sent"] += len(peers)
+        return len(peers)
+
+    def retire(self, owner, id_paths):
+        """Replica side: drop stamps for a region *owner* gave up.
+
+        Every stamp at or under one of *id_paths* in *owner*'s store
+        is removed: the old ring stops vouching for the migrated
+        region, so a failover anchored inside it finds ``region_age``
+        ``None`` and falls through to the next candidate (or degrades
+        to an honest partial answer) instead of claiming the frozen
+        copy is live.  The copied *data* stays -- it is exactly as
+        trustworthy as the old owner's own demoted ``complete`` copy
+        (a point-in-time snapshot), and freshness-bounded queries
+        re-check per-node timestamps at evaluation time anyway, so a
+        frozen node can never satisfy a bound it has outlived.
+        Returns the number of stamps dropped.
+        """
+        targets = [_as_path(path) for path in id_paths]
+        dropped = 0
+        with self._lock:
+            store = self._stores.get(owner)
+            if store is None:
+                return 0
+            doomed = [
+                path for path in store.stamps
+                if any(path[:len(target)] == target for target in targets)
+            ]
+            for path in doomed:
+                del store.stamps[path]
+                dropped += 1
+            if not store.stamps:
+                del self._stores[owner]
+            self.stats["retired_entries"] += dropped
+        return dropped
 
     def _replicate(self, paths):
         if not self.enabled:

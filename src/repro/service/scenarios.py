@@ -28,6 +28,7 @@ from repro.xmlkit.nodes import Element
 
 __all__ = [
     "ScenarioConfig",
+    "ScenarioWorkload",
     "build_document",
     "build_plan",
     "group_path",
@@ -220,6 +221,87 @@ def update_stream(config, count, seed=None):
         index = order[min(rank, n - 1)]
         yield sensor_path(config, index), \
             {"value": f"{rng.uniform(0.0, 100.0):.2f}"}
+
+
+# ----------------------------------------------------------------------
+# Open-loop workload adapter
+# ----------------------------------------------------------------------
+class ScenarioWorkload:
+    """Open-loop arrivals for a generated deployment.
+
+    The sample shapes match what
+    :func:`~repro.service.workload.run_open_loop` routes: a
+    ``(query, "aggregate")`` pair fires a user query at the
+    DNS-resolved site, an ``(id_path, values)`` pair fires an update at
+    the owner.  *skew* is the fraction of queries pinned under the hot
+    top-level zone; each such query targets a uniformly-chosen *child*
+    zone of it, so the hot site's load is attributed across several
+    IDable units -- the shape a fragment split can actually spread
+    (an all-one-unit hot spot is correctly refused by the planner).
+    The remaining queries pick their top-level zone uniformly.
+    *pin_depth* is how many zone digits a skewed query pins (default:
+    2 levels when the config has them) -- deeper pins mean smaller,
+    cheaper rollups, which is what keeps query cost sane on the
+    million-element configs.  *update_fraction* mixes in zipf-skewed
+    sensor updates from :func:`update_stream`.
+    """
+
+    def __init__(self, config, shape="avg", hot_zone=0, skew=0.8,
+                 bound=None, update_fraction=0.0, pin_depth=None,
+                 seed=None):
+        if not 0.0 <= skew <= 1.0:
+            raise ValueError("skew must be in [0, 1]")
+        if not 0.0 <= update_fraction <= 1.0:
+            raise ValueError("update_fraction must be in [0, 1]")
+        if hot_zone >= config.fanout:
+            raise ValueError("hot_zone exceeds the fanout")
+        if pin_depth is None:
+            pin_depth = min(config.depth, 2)
+        if not 0 <= pin_depth <= config.depth:
+            raise ValueError("pin_depth must be in [0, depth]")
+        self.config = config
+        self.shape = shape
+        self.hot_zone = hot_zone
+        self.skew = skew
+        self.bound = bound
+        self.update_fraction = update_fraction
+        self.pin_depth = pin_depth
+        self.rng = random.Random(config.seed if seed is None else seed)
+        self._updates = None
+
+    def _next_update(self):
+        if self._updates is None:
+            # One endless stream: its zipf table is built exactly once
+            # (it is O(sensor_count), noticeable at the million scale).
+            self._updates = update_stream(
+                self.config, count=1 << 62,
+                seed=self.rng.randrange(2 ** 31))
+        return next(self._updates)
+
+    def sample(self):
+        if self.update_fraction and \
+                self.rng.random() < self.update_fraction:
+            return self._next_update()
+        config = self.config
+        if self.pin_depth == 0:
+            zone = ()
+        elif self.rng.random() < self.skew:
+            zone = (self.hot_zone,) + tuple(
+                self.rng.randrange(config.fanout)
+                for _ in range(self.pin_depth - 1))
+        else:
+            zone = (self.rng.randrange(config.fanout),) + tuple(
+                self.rng.randrange(config.fanout)
+                for _ in range(self.pin_depth - 1))
+        query = rollup_query(config, shape=self.shape, zone=zone,
+                             bound=self.bound)
+        return query, "aggregate"
+
+    def __call__(self):
+        return self.sample()
+
+    def take(self, count):
+        return [self.sample() for _ in range(count)]
 
 
 # ----------------------------------------------------------------------

@@ -292,10 +292,14 @@ def run_open_loop(cluster, workload, target_qps, duration, seed=0,
     for _ in arrivals:
         sampled = workload.sample()
         if isinstance(sampled[0], str):
-            query, _qtype = sampled
+            query, qtype = sampled
+            # Aggregate/boolean samples (ScenarioWorkload's rollups) go
+            # down the scalar path; location paths stay user queries.
+            scalar = qtype in ("aggregate", "scalar", "boolean")
             plan.append((cluster.route_query(query)[0],
-                         lambda q=query: QueryMessage(
-                             q, now=now, user=True, sender="client")))
+                         lambda q=query, s=scalar: QueryMessage(
+                             q, now=now, scalar=s, user=not s,
+                             sender="client")))
         else:
             path, values = sampled
             plan.append((_owner_site(path),

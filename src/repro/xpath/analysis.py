@@ -120,6 +120,31 @@ def extract_id_path(expression):
     return prefix
 
 
+def anchor_id_path(query):
+    """The anchor id path of a query string or AST, or ``None``.
+
+    Convenience over :func:`extract_id_path`: parses a string,
+    unwraps an aggregate ``FunctionCall`` down to its location-path
+    argument, and returns the anchor as a tuple of ``(tag, id)``
+    tuples -- ``None`` for queries with no usable anchor (or that do
+    not parse at all).  Shared by query routing, the per-path load
+    tracker, and migration-time cache eviction.
+    """
+    from repro.xpath import parser as _parser
+
+    try:
+        ast = _parser.parse(query) if isinstance(query, str) else query
+        if isinstance(ast, FunctionCall) and ast.arguments and \
+                isinstance(ast.arguments[0], LocationPath):
+            ast = ast.arguments[0]
+        anchor = extract_id_path(ast)
+    except Exception:
+        return None
+    if not anchor:
+        return None
+    return tuple(tuple(entry) for entry in anchor)
+
+
 def sanitize_dns_label(value):
     """Make an id value usable as a DNS label (lowercase, hyphenated)."""
     cleaned = []
